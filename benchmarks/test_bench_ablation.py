@@ -1,0 +1,138 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each test turns one design knob and verifies the design choice earns its
+keep (or at least does no harm) on the stressed-supernode workload.
+"""
+
+from conftest import record_series
+
+import numpy as np
+
+from repro.core.adaptation import AdaptationParams
+from repro.core.assignment import AssignmentParams
+from repro.core.scheduling import SchedulingParams
+from repro.experiments.satisfaction import (
+    SupernodeLoadConfig,
+    simulate_supernode_load,
+)
+from repro.metrics.series import FigureSeries
+
+LOAD = 20           # players on the stressed supernode
+SEEDS = (42, 43)
+
+
+def _mean_sat(adapt, sched, config, metric="satisfied"):
+    return float(np.mean([
+        simulate_supernode_load(LOAD, adapt, sched, seed=s, config=config)
+        [metric]
+        for s in SEEDS
+    ]))
+
+
+def test_ablation_hysteresis(benchmark):
+    """Adaptation hysteresis window: 1 (jumpy) vs 3 (paper-ish) vs 8."""
+    def run():
+        series = FigureSeries("hysteresis ablation",
+                              "hysteresis window", "satisfied players")
+        for h in (1, 3, 8):
+            cfg = SupernodeLoadConfig(
+                duration_s=25.0, warmup_s=8.0,
+                adaptation=AdaptationParams(hysteresis=h))
+            series.add(h, _mean_sat(True, False, cfg))
+        return [series]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(benchmark, series, "Ablation: adaptation hysteresis")
+    ys = series[0].y
+    # Any window converges under sustained overload; the knob must not
+    # break the strategy.
+    assert min(ys) > 0.5
+
+
+def test_ablation_rho_scaling(benchmark):
+    """ρ-scaled thresholds (paper) vs uniform thresholds."""
+    def run():
+        series = FigureSeries("rho ablation", "rho scaling on",
+                              "satisfied players")
+        for flag in (False, True):
+            cfg = SupernodeLoadConfig(
+                duration_s=25.0, warmup_s=8.0,
+                adaptation=AdaptationParams(rho_scaling=flag))
+            series.add(int(flag), _mean_sat(True, False, cfg))
+        return [series]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(benchmark, series, "Ablation: ρ threshold scaling")
+    off, on = series[0].y
+    assert on >= off - 0.1  # the paper's refinement must not hurt
+
+
+def test_ablation_drop_weighting(benchmark):
+    """Eq. 14 tolerance x decay weights vs tolerance-only vs uniform."""
+    def run():
+        series = FigureSeries("drop weighting", "mode index (0=uniform, "
+                              "1=tolerance, 2=tolerance_decay)",
+                              "satisfied players")
+        for idx, mode in enumerate(("uniform", "tolerance",
+                                    "tolerance_decay")):
+            cfg = SupernodeLoadConfig(
+                duration_s=25.0, warmup_s=8.0,
+                scheduling=SchedulingParams(drop_weighting=mode))
+            series.add(idx, _mean_sat(False, True, cfg))
+        return [series]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(benchmark, series, "Ablation: Eq. 14 drop weighting")
+    uniform, tol, tol_decay = series[0].y
+    # Tolerance-aware weighting must not underperform uniform dropping.
+    assert tol_decay >= uniform - 0.1
+
+
+def test_ablation_edf_vs_dropping(benchmark):
+    """Pure EDF reordering (dropping off) vs full deadline scheduling."""
+    def run():
+        series = FigureSeries("dropping ablation",
+                              "dropping enabled", "satisfied players")
+        for flag in (False, True):
+            cfg = SupernodeLoadConfig(
+                duration_s=25.0, warmup_s=8.0,
+                scheduling=SchedulingParams(enable_dropping=flag))
+            series.add(int(flag), _mean_sat(False, True, cfg))
+        return [series]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(benchmark, series, "Ablation: EDF alone vs EDF+dropping")
+    edf_only, full = series[0].y
+    assert full >= edf_only - 0.05
+
+
+def test_ablation_assignment_policy(benchmark):
+    """Nearest-supernode assignment (paper) vs random assignment."""
+    from repro.experiments.scenarios import peersim_scenario
+    from repro.metrics.coverage import capacity_aware_coverage
+    from repro.experiments.coverage import _supernode_capacities
+
+    def run():
+        scen = peersim_scenario(scale=0.06, seed=42)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        sn_hosts = set(int(h) for h in pop.supernode_host_ids)
+        hosts = np.array([pop.players[p].host_id for p in online
+                          if pop.players[p].host_id not in sn_hosts])
+        caps = _supernode_capacities(pop)
+        series = FigureSeries("assignment ablation",
+                              "policy (0=random, 1=nearest)",
+                              "coverage @50ms")
+        for idx, policy in enumerate(("random", "nearest")):
+            cov = capacity_aware_coverage(
+                pop.latency, hosts, 0.050,
+                pop.supernode_host_ids, caps, pop.datacenter_ids,
+                AssignmentParams(policy=policy))
+            series.add(idx, cov)
+        return [series]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Ablation: supernode assignment policy")
+    random_cov, nearest_cov = series[0].y
+    assert nearest_cov >= random_cov

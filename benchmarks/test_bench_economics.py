@@ -1,0 +1,24 @@
+"""§III-A economics — incentive effectiveness and deployment planning."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def test_economics_incentives(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment(
+            "economics", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Economics: incentive sweep + deployment frontier")
+
+    participation, saved, frontier = series
+    # Supply responds to the reward: monotone participation curve.
+    assert participation.y == sorted(participation.y)
+    assert participation.y[0] == 0.0
+    assert participation.y[-1] > 0.5
+    # Greedy Eq. 6 deployment: cumulative gain rises, marginals shrink.
+    assert frontier.y[-1] > 0.0
+    gains = [b - a for a, b in zip(frontier.y, frontier.y[1:])]
+    assert all(g > 0 for g in gains)

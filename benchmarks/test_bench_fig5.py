@@ -1,0 +1,40 @@
+"""Figure 5 — user coverage vs datacenters/supernodes (PeerSim testbed)."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def test_fig5a_coverage_vs_datacenters(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig5a", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series, "Figure 5(a): coverage vs datacenters")
+
+    by_label = {s.label: s for s in series}
+    strict, lax = by_label["req=30ms"], by_label["req=110ms"]
+    # Stricter latency requirement -> lower coverage, everywhere.
+    for k in range(len(strict.x)):
+        assert strict.y[k] <= lax.y[k]
+    # Coverage plateaus: 5 -> 25 datacenters buys little at 90 ms.
+    mid = by_label["req=90ms"]
+    assert mid.y[-1] - mid.y[0] < 0.25
+    # More datacenters never hurt much (independent topologies jitter).
+    for s in series:
+        assert s.y[-1] >= s.y[0] - 0.08
+
+
+def test_fig5b_coverage_vs_supernodes(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig5b", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series, "Figure 5(b): coverage vs supernodes")
+
+    for s in series:
+        # Supernodes increase coverage over the 0-supernode baseline.
+        assert s.y[-1] >= s.y[0]
+    by_label = {s.label: s for s in series}
+    # The paper's headline: supernodes lift coverage substantially at
+    # the tolerant end of the requirement range.
+    lax = by_label["req=110ms"]
+    assert lax.y[-1] - lax.y[0] > 0.03

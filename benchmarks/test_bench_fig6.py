@@ -1,0 +1,37 @@
+"""Figure 6 — user coverage on the PlanetLab testbed."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def test_fig6a_coverage_vs_datacenters(benchmark, bench_seed):
+    # PlanetLab is small (750 hosts); run it at a generous scale.
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig6a", scale=0.5, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 6(a): coverage vs datacenters (PlanetLab)")
+
+    by_label = {s.label: s for s in series}
+    strict, lax = by_label["req=30ms"], by_label["req=110ms"]
+    for k in range(len(strict.x)):
+        assert strict.y[k] <= lax.y[k]
+    # University hosts have good access: the tolerant end covers most.
+    assert lax.y[-1] > 0.5
+
+
+def test_fig6b_coverage_vs_supernodes(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig6b", scale=0.5, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 6(b): coverage vs supernodes (PlanetLab)")
+
+    for s in series:
+        assert s.y[-1] >= s.y[0] - 0.02
+    by_label = {s.label: s for s in series}
+    # Same-site supernodes rescue the strict requirements that the two
+    # coastal datacenters cannot reach.
+    strict = by_label["req=30ms"]
+    assert strict.y[-1] > strict.y[0]

@@ -1,0 +1,38 @@
+"""Figure 7 — cloud bandwidth consumption vs number of players."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def _check_fig7(series):
+    cloud, edge, fog = series
+    assert cloud.label == "Cloud"
+    assert edge.label == "EdgeCloud"
+    assert fog.label == "CloudFog/B"
+    for k in range(len(cloud.x)):
+        # Paper: Cloud > EdgeCloud > CloudFog/B at every player count.
+        assert cloud.y[k] > edge.y[k] > fog.y[k]
+    # Egress grows with players; CloudFog grows slowest.
+    slope = lambda s: (s.y[-1] - s.y[0]) / max(1e-9, s.x[-1] - s.x[0])
+    assert slope(fog) < slope(edge) < slope(cloud)
+    # Fog saves the majority of cloud egress at full load.
+    assert fog.y[-1] < 0.5 * cloud.y[-1]
+
+
+def test_fig7a_bandwidth_peersim(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig7a", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 7(a): cloud bandwidth vs players (PeerSim)")
+    _check_fig7(series)
+
+
+def test_fig7b_bandwidth_planetlab(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig7b", scale=0.5, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 7(b): cloud bandwidth vs players (PlanetLab)")
+    _check_fig7(series)

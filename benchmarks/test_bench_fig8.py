@@ -1,0 +1,36 @@
+"""Figure 8 — average response latency per player across systems."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def _check_fig8(series):
+    # Index order: Cloud, EdgeCloud, CloudFog/B, CloudFog/A.
+    cloud, edge, fog_b, fog_a = series[0].y
+    # Paper ordering: Cloud > EdgeCloud > CloudFog/B > CloudFog/A.
+    assert cloud > fog_b, "fog must beat plain cloud"
+    assert edge > fog_b, "fog must beat EdgeCloud"
+    assert fog_b > fog_a, "the strategies must further reduce latency"
+    # Latencies are in a plausible cloud-gaming range (tens of ms).
+    assert 20.0 < fog_a < cloud < 400.0
+
+
+def test_fig8a_latency_peersim(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig8a", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 8(a): response latency by system (PeerSim)")
+    _check_fig8(series)
+
+
+def test_fig8b_latency_planetlab(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig8b", scale=0.5, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 8(b): response latency by system (PlanetLab)")
+    cloud, edge, fog_b, fog_a = series[0].y
+    assert cloud > fog_a
+    assert fog_b >= fog_a

@@ -1,0 +1,39 @@
+"""Figure 9 — playback continuity vs number of concurrent players."""
+
+from conftest import record_series
+
+from repro.experiments.runner import run_experiment
+
+
+def _check_fig9(series, min_fog_a=0.75):
+    by_label = {s.label: s for s in series}
+    cloud = by_label["Cloud"]
+    edge = by_label["EdgeCloud"]
+    fog_b = by_label["CloudFog/B"]
+    fog_a = by_label["CloudFog/A"]
+    for k in range(len(cloud.x)):
+        # Paper ordering: CloudFog/A >= CloudFog/B > EdgeCloud >= Cloud.
+        assert fog_a.y[k] >= fog_b.y[k] - 0.03
+        assert fog_b.y[k] > edge.y[k]
+        assert edge.y[k] >= cloud.y[k] - 0.03
+    # Paper: CloudFog/A averages high continuity.
+    mean_a = sum(fog_a.y) / len(fog_a.y)
+    assert mean_a > min_fog_a
+
+
+def test_fig9a_continuity_peersim(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig9a", scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 9(a): continuity vs players (PeerSim)")
+    _check_fig9(series)
+
+
+def test_fig9b_continuity_planetlab(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("fig9b", scale=0.5, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Figure 9(b): continuity vs players (PlanetLab)")
+    _check_fig9(series, min_fog_a=0.7)

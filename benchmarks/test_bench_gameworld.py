@@ -1,0 +1,47 @@
+"""Game-world substrate benches: Λ measurement and kd-tree balance."""
+
+from conftest import record_series
+
+from repro.core.cloud import UPDATE_MESSAGE_BYTES
+from repro.experiments.gameworld_exp import (
+    measured_lambda_bytes,
+    partition_balance_sweep,
+    update_size_sweep,
+)
+
+
+def test_gameworld_update_size(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: update_size_sweep(seed=bench_seed), rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Substrate: Λ (update bytes) vs avatars and AOI")
+
+    # AOI filtering keeps Λ bounded: doubling the world less than
+    # doubles the message (interest sets saturate).
+    for s in series:
+        growth = s.y[-1] / max(s.y[0], 1.0)
+        world_growth = s.x[-1] / s.x[0]
+        assert growth < world_growth
+    # Bigger AOI -> bigger messages.
+    finals = [s.y[-1] for s in series]
+    assert finals == sorted(finals)
+
+    lam = measured_lambda_bytes(seed=bench_seed)
+    benchmark.extra_info["measured_lambda_bytes"] = lam
+    print(f"  measured Λ = {lam:.0f} B/supernode/tick "
+          f"(main experiments assume {UPDATE_MESSAGE_BYTES} B)")
+    assert 0.3 * UPDATE_MESSAGE_BYTES < lam < 3.0 * UPDATE_MESSAGE_BYTES
+
+
+def test_gameworld_partition_balance(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: partition_balance_sweep(seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Substrate: kd-tree vs grid load imbalance")
+
+    kd, grid = series
+    # Kd-tree stays balanced regardless of clustering; the grid degrades.
+    assert max(kd.y) < 1.6
+    assert grid.y[-1] > 3.0
+    assert grid.y[-1] > kd.y[-1] * 2

@@ -1,0 +1,32 @@
+"""Figure 2 — the quality ladder (table reproduction + encode throughput)."""
+
+from repro.streaming.encoder import SegmentEncoder
+from repro.streaming.video import QUALITY_LADDER
+
+
+def test_fig2_quality_ladder(benchmark):
+    """Reproduce the Figure 2 table and benchmark segment encoding."""
+    encoder = SegmentEncoder(0, 0.110, 0.2)
+
+    def encode_batch():
+        for k in range(1000):
+            encoder.encode_segment(k * 0.1, k * 0.1)
+        return encoder.segments_encoded
+
+    total = benchmark(encode_batch)
+    assert total >= 1000
+
+    rows = [
+        (ql.level, ql.resolution, int(ql.bitrate_bps / 1000),
+         int(ql.latency_req_s * 1000), ql.latency_tolerance)
+        for ql in QUALITY_LADDER
+    ]
+    benchmark.extra_info["figure"] = "Figure 2"
+    benchmark.extra_info["ladder"] = rows
+    print("\n== Figure 2: quality ladder ==")
+    for level, res, kbps, ms, rho in reversed(rows):
+        print(f"  L{level}: {res[0]}x{res[1]}  {kbps} kbps  "
+              f"{ms} ms  rho={rho}")
+
+    # Paper row check: level 4 = 720x486 / 1200 kbps / 90 ms / 0.9.
+    assert rows[3] == (4, (720, 486), 1200, 90, 0.9)

@@ -1,0 +1,44 @@
+"""Extension benches: reputation security and the dynamic population."""
+
+from conftest import record_series
+
+import numpy as np
+
+from repro.experiments.runner import run_experiment
+
+
+def test_security_reputation(benchmark, bench_scale, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("security", scale=bench_scale,
+                               seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Extension: tampered sessions vs malicious fraction")
+
+    without, with_rep = series
+    # Without defence, tampering scales with the malicious fraction.
+    assert without.y[-1] > 0.1
+    # The reputation system suppresses it by an order of magnitude.
+    assert with_rep.y[-1] < 0.35 * without.y[-1]
+    for k in range(len(without.x)):
+        assert with_rep.y[k] <= without.y[k] + 1e-9
+
+
+def test_dynamic_population(benchmark, bench_seed):
+    series = benchmark.pedantic(
+        lambda: run_experiment("dynamic", scale=0.15, seed=bench_seed),
+        rounds=1, iterations=1)
+    record_series(benchmark, series,
+                  "Extension: dynamic join/leave population")
+
+    by_label = {s.label: s for s in series}
+    online = by_label["online players"]
+    fog = by_label["fog-served fraction"]
+    util = by_label["slot utilization"]
+    # The population ramps toward steady state.
+    assert max(online.y) > online.y[0]
+    # Fog serves the majority once the system warms up.
+    assert float(np.mean(fog.y[len(fog.y) // 2:])) > 0.5
+    # Slot utilization stays a valid fraction and grows with occupancy.
+    assert all(0.0 <= u <= 1.0 for u in util.y)
+    assert util.y[-1] >= util.y[0]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Coverage study: datacenters vs supernodes for reaching players.
+
+Reproduces the reasoning of the paper's introduction: adding datacenters
+is an expensive and rapidly saturating way to cover users, while
+deploying supernodes (player machines inside access networks) keeps
+buying coverage — including at strict latency requirements where no
+datacenter placement helps.
+
+Run:  python examples/coverage_study.py
+"""
+
+from repro.experiments.coverage import (
+    coverage_vs_datacenters,
+    coverage_vs_supernodes,
+)
+from repro.experiments.scenarios import peersim_scenario
+
+#: Datacenter capital cost the paper quotes (~$400M for a medium DC).
+DC_COST_USD = 400e6
+
+
+def main() -> None:
+    scenario = peersim_scenario(scale=0.08, seed=11)
+
+    print("How much coverage does a datacenter buy?  (80 ms requirement)")
+    dc_series = coverage_vs_datacenters(
+        scenario, dc_counts=(5, 10, 15, 20, 25), latency_reqs_s=(0.080,))
+    line = dc_series[0]
+    prev = None
+    for n_dc, cov in zip(line.x, line.y):
+        marginal = "" if prev is None else (
+            f"   (+{(cov - prev) * 100:.1f} pts for "
+            f"${(line.x[1] - line.x[0]) * DC_COST_USD / 1e9:.0f}B)")
+        print(f"  {int(n_dc):>3} datacenters -> coverage {cov:.2f}{marginal}")
+        prev = cov
+
+    print("\nAnd supernodes?  (same 80 ms requirement, 5 datacenters)")
+    sn_counts = [int(round(c * 0.08)) for c in (0, 150, 300, 450, 600)]
+    sn_series = coverage_vs_supernodes(
+        scenario, sn_counts=sorted(set(sn_counts)),
+        latency_reqs_s=(0.080,))
+    for n_sn, cov in zip(sn_series[0].x, sn_series[0].y):
+        print(f"  {int(n_sn):>3} supernodes  -> coverage {cov:.2f}")
+
+    print("\nStrict 30 ms games (where datacenters cannot help):")
+    strict_dc = coverage_vs_datacenters(
+        scenario, dc_counts=(5, 25), latency_reqs_s=(0.030,))[0]
+    strict_sn = coverage_vs_supernodes(
+        scenario, sn_counts=(0, max(sn_counts)),
+        latency_reqs_s=(0.030,))[0]
+    print(f"  5 -> 25 datacenters: {strict_dc.y[0]:.2f} -> "
+          f"{strict_dc.y[1]:.2f}")
+    print(f"  0 -> {int(strict_sn.x[1])} supernodes: {strict_sn.y[0]:.2f} "
+          f"-> {strict_sn.y[1]:.2f}")
+    print("\nSupernodes sit inside residential access networks; that is "
+          "the coverage no datacenter buildout can reach.")
+
+
+if __name__ == "__main__":
+    main()

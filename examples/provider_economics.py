@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Provider economics: pricing supernode rewards and planning deployment.
+
+Walks through the paper's §III-A economic model with concrete numbers:
+
+1. the supply curve — how many machine owners contribute at each reward
+   level (Eq. 1 and per-contributor thresholds);
+2. the provider's saved cost C_g at each reward level (Eqs. 2-5);
+3. greedy deployment by marginal gain G_s (Eq. 6);
+4. the EC2-price sanity check the paper opens with ($130k/month for
+   27 TB per 12 hours).
+
+Run:  python examples/provider_economics.py
+"""
+
+import numpy as np
+
+from repro.economics.provider import EC2_PRICE_PER_GB, ProviderModel
+from repro.experiments.economics_exp import (
+    MEAN_STREAM_RATE_BPS,
+    deployment_frontier,
+    incentive_sweep,
+)
+from repro.experiments.scenarios import peersim_scenario
+
+
+def main() -> None:
+    scenario = peersim_scenario(scale=0.08, seed=3)
+
+    print("1. The paper's opening bill: 27 TB per 12 h at EC2 prices")
+    model = ProviderModel(
+        saving_per_bps=0.0, reward_per_bps=0.0,
+        streaming_rate_bps=MEAN_STREAM_RATE_BPS, update_rate_bps=0.0)
+    avg_bps = 8.0 * 27e12 / (12 * 3600)
+    bill = model.monthly_bandwidth_bill_usd(avg_bps)
+    print(f"   {avg_bps / 1e9:.1f} Gbps average egress -> "
+          f"${bill / 1000:.0f}k/month at ${EC2_PRICE_PER_GB}/GB\n")
+
+    print("2. Supply curve and provider savings vs reward c_s")
+    participation, saved = incentive_sweep(
+        scenario, rewards=tuple(np.linspace(0.0, 1.0, 11)))
+    print(f"   {'c_s ($/Mbps-mo)':>16} {'participating':>14} "
+          f"{'C_g ($/mo)':>12}")
+    for c_s, frac, c_g in zip(participation.x, participation.y, saved.y):
+        print(f"   {c_s:>16.1f} {frac:>13.0%} {c_g:>12.0f}")
+    best = int(np.argmax(saved.y))
+    print(f"   -> savings peak at c_s = {saved.x[best]:.1f}: pay enough "
+          f"to attract supply, not more.\n")
+
+    print("3. Greedy deployment by Eq. 6 marginal gain")
+    frontier = deployment_frontier(scenario)
+    n_deployed = len(frontier.x) - 1
+    print(f"   {n_deployed} candidates have positive deployment gain;"
+          f" cumulative gain ${frontier.y[-1]:.0f}/mo")
+    for k in (1, max(1, n_deployed // 2), n_deployed):
+        print(f"   after {k:>4} supernodes: ${frontier.y[k]:.0f}/mo")
+    print("   Marginal gains shrink: the best supernodes sit in dense, "
+          "uncovered metros.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: compare plain cloud gaming against CloudFog.
+
+Builds a scaled-down version of the paper's simulation testbed, runs the
+same online population through the plain-cloud baseline and the full
+CloudFog system, and prints the QoE comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SessionConfig,
+    SystemVariant,
+    peersim_scenario,
+    simulate_sessions,
+)
+
+
+def main() -> None:
+    # 5 % of the paper's scale: 500 players, 5 datacenters, 30 supernodes.
+    scenario = peersim_scenario(scale=0.05, seed=2025)
+    population = scenario.build()
+    online = scenario.online_sample(population)
+    config = SessionConfig(duration_s=15.0, warmup_s=3.0)
+
+    print(f"Scenario: {scenario.name}, {scenario.n_players} players, "
+          f"{scenario.n_datacenters} datacenters, "
+          f"{scenario.n_supernodes} supernodes, {online.size} online\n")
+
+    header = (f"{'system':<18} {'continuity':>10} {'latency':>9} "
+              f"{'satisfied':>10} {'cloud egress':>13}")
+    print(header)
+    print("-" * len(header))
+    for variant in (SystemVariant.CLOUD, SystemVariant.CLOUDFOG_B,
+                    SystemVariant.CLOUDFOG_A):
+        result = simulate_sessions(population, variant, online, config)
+        print(f"{variant.value:<18} "
+              f"{result.mean_continuity:>10.3f} "
+              f"{result.mean_latency_s * 1000:>7.1f}ms "
+              f"{result.satisfied_fraction:>10.2%} "
+              f"{result.cloud_egress_bps / 1e6:>10.1f}Mbps")
+
+    fog = simulate_sessions(
+        population, SystemVariant.CLOUDFOG_A, online, config)
+    print(f"\n{fog.fraction_served_by('supernode'):.0%} of players are "
+          f"served by fog supernodes; the rest fall back to the cloud.")
+
+
+if __name__ == "__main__":
+    main()

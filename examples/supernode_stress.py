@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Stress a single supernode and watch the QoE strategies work.
+
+One supernode with an 18 Mbps uplink serves a growing number of players.
+The FIFO baseline collapses once demand exceeds the uplink; the paper's
+two strategies degrade gracefully:
+
+* receiver-driven rate adaptation walks encoders down the quality ladder
+  until the load fits;
+* deadline-driven scheduling sends urgent segments first and sheds
+  packets from loss-tolerant games.
+
+Run:  python examples/supernode_stress.py
+"""
+
+from repro.experiments.satisfaction import (
+    SupernodeLoadConfig,
+    simulate_supernode_load,
+)
+
+CONFIG = SupernodeLoadConfig(duration_s=25.0, warmup_s=8.0)
+
+STRATEGIES = (
+    ("CloudFog/B (FIFO)", False, False),
+    ("  + rate adaptation", True, False),
+    ("  + deadline scheduling", False, True),
+    ("  + both (CloudFog/A)", True, True),
+)
+
+
+def main() -> None:
+    uplink = CONFIG.capacity_slots * 1.8
+    print(f"One supernode, {uplink:.1f} Mbps uplink, 30 fps game video.\n")
+    print(f"{'players':>8} | " + " | ".join(
+        f"{name:<24}" for name, _, _ in STRATEGIES))
+    print("-" * (10 + 27 * len(STRATEGIES)))
+    for k in (5, 10, 15, 20, 25):
+        cells = []
+        for _, adapt, sched in STRATEGIES:
+            out = simulate_supernode_load(
+                k, adapt, sched, seed=1, config=CONFIG)
+            cells.append(
+                f"sat={out['satisfied']:.2f} cont={out['continuity']:.2f}   ")
+        print(f"{k:>8} | " + " | ".join(f"{c:<24}" for c in cells))
+
+    print("\nReading the table: 'sat' is the fraction of satisfied players "
+          "(≥95% of packets on time,\nloss within the game's tolerance); "
+          "'cont' is mean playback continuity. Demand crosses the\n"
+          f"{uplink:.1f} Mbps uplink near 20 players — where the baseline "
+          "collapses and the strategies take over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Inside the cloud: the virtual world, kd-tree servers, and Λ.
+
+The main experiments treat the cloud as a black box that emits ~2 KB
+update messages. This example opens the box: it runs the MMOG virtual
+world (avatars, movement, combat), partitions it across game servers
+with the kd-tree scheme the paper cites, and measures the actual
+update-message sizes that flow to supernodes.
+
+Run:  python examples/virtual_world.py
+"""
+
+import numpy as np
+
+from repro.core.cloud import UPDATE_MESSAGE_BYTES
+from repro.gameworld import (
+    AreaOfInterest,
+    KdTreePartitioner,
+    UpdateEncoder,
+    World,
+)
+from repro.gameworld.partition import uniform_grid_assignment
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    world = World(rng, n_avatars=300)
+    print(f"Virtual world: {world.n_avatars} avatars on a "
+          f"{world.params.map_size:.0f}x{world.params.map_size:.0f} map, "
+          f"{1 / world.params.tick_s:.0f} Hz ticks\n")
+
+    # A few seconds of gameplay.
+    dirty_counts = [len(d) for d in world.run_ticks(rng, n_ticks=50)]
+    print(f"After 5 s of play: {world.strikes_landed} strikes landed, "
+          f"{world.strikes_missed} missed; "
+          f"{np.mean(dirty_counts):.0f} avatars change per tick\n")
+
+    print("1. Update messages to supernodes (the real Λ)")
+    encoder = UpdateEncoder(AreaOfInterest(radius=100.0))
+    sn_players = {k: list(range(k * 20, (k + 1) * 20)) for k in range(15)}
+    lam = encoder.mean_update_bytes(world, rng, sn_players, n_ticks=30)
+    print(f"   measured Λ = {lam:.0f} bytes/supernode/tick "
+          f"(main experiments assume {UPDATE_MESSAGE_BYTES})")
+    for radius in (50, 200, 400):
+        l = UpdateEncoder(AreaOfInterest(radius)).mean_update_bytes(
+            world, rng, sn_players, n_ticks=10)
+        print(f"   AOI radius {radius:>3}: Λ = {l:.0f} B")
+    print("   A 1800 kbps video stream is ~22 500 B per tick — the fog "
+          "cuts cloud egress ~10x.\n")
+
+    print("2. Partitioning the world across game servers")
+    # Players crowd a popular city.
+    hot = rng.normal(200, 25, size=(240, 2))
+    cold = rng.uniform(0, 1000, size=(60, 2))
+    positions = np.clip(np.vstack([hot, cold]), 0, 1000)
+    kd = KdTreePartitioner(16)
+    kd_loads = kd.loads(kd.partition(positions, 1000.0))
+    grid_loads = np.bincount(
+        uniform_grid_assignment(positions, 1000.0, 16), minlength=16)
+    print(f"   kd-tree  per-server load: min={kd_loads.min()} "
+          f"max={kd_loads.max()} (max/mean "
+          f"{kd_loads.max() / kd_loads.mean():.2f})")
+    print(f"   uniform grid            : min={grid_loads.min()} "
+          f"max={grid_loads.max()} (max/mean "
+          f"{grid_loads.max() / grid_loads.mean():.2f})")
+    print("   Median splits follow the crowd; fixed grids leave most "
+          "servers idle while one melts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Closed-form analysis used to cross-validate the simulator.
+
+The discrete-event results should not be taken on faith: where queueing
+theory has an answer, the simulator must agree with it. This package
+holds those answers — the M/D/1 model of a supernode's uplink and the
+derived saturation/deadline predictions — and the test suite checks the
+DES against them (`tests/analysis/`).
+"""
+
+from repro.analysis.queueing import (
+    MD1Model,
+    saturation_players,
+    supernode_uplink_model,
+)
+
+__all__ = ["MD1Model", "saturation_players", "supernode_uplink_model"]

@@ -1,0 +1,118 @@
+"""M/D/1 queueing model of a supernode's uplink.
+
+A supernode serving ``k`` players receives one segment per player per
+cadence tick, with near-deterministic service time (segment bytes over
+the uplink rate). Poisson-izing the arrival process (player phases are
+independent and uniform) gives an M/D/1 queue, whose mean waiting time is
+the Pollaczek–Khinchine formula with zero service variance:
+
+    W = ρ · E[S] / (2 · (1 − ρ))
+
+The model predicts two things the DES must agree with:
+
+* the *saturation knee*: satisfaction collapses where offered load
+  crosses the uplink (ρ → 1), i.e. at ``k* = uplink / mean_bitrate``;
+* the *latency inflation* at moderate load: observed queueing delay in
+  the DES should track W within a small factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streaming.video import (
+    SEGMENT_DURATION_S,
+    highest_level_for_latency,
+)
+from repro.workload.games import GAMES
+
+
+@dataclass(frozen=True, slots=True)
+class MD1Model:
+    """An M/D/1 queue: Poisson arrivals, deterministic service."""
+
+    arrival_rate_per_s: float
+    service_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s < 0 or self.service_time_s <= 0:
+            raise ValueError("rates must be nonnegative, service positive")
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ · E[S]."""
+        return self.arrival_rate_per_s * self.service_time_s
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean time in queue (excluding service); ∞ when unstable."""
+        rho = self.utilization
+        if rho >= 1.0:
+            return float("inf")
+        return rho * self.service_time_s / (2.0 * (1.0 - rho))
+
+    @property
+    def mean_sojourn_s(self) -> float:
+        """Mean time in system (queue + service)."""
+        return self.mean_wait_s + self.service_time_s
+
+    def wait_quantile_s(self, q: float) -> float:
+        """Approximate waiting-time quantile via the exponential-tail
+        heavy-traffic approximation W_q ≈ W · (−ln(1−q))."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError("q must lie in [0, 1)")
+        w = self.mean_wait_s
+        if not np.isfinite(w):
+            return float("inf")
+        return float(w * -np.log(1.0 - q))
+
+
+def mean_initial_bitrate_bps() -> float:
+    """Mean of the games' initial encoding bitrates (uniform game mix)."""
+    return float(np.mean([
+        highest_level_for_latency(g.latency_req_s).bitrate_bps
+        for g in GAMES
+    ]))
+
+
+def supernode_uplink_model(
+    n_players: int,
+    uplink_rate_bps: float,
+    bitrate_bps: float | None = None,
+    segment_interval_s: float = SEGMENT_DURATION_S,
+) -> MD1Model:
+    """The M/D/1 model of one supernode's uplink under ``n_players``."""
+    if n_players < 0 or uplink_rate_bps <= 0:
+        raise ValueError("invalid player count or uplink rate")
+    rate = n_players / segment_interval_s  # segments per second
+    mean_bitrate = (bitrate_bps if bitrate_bps is not None
+                    else mean_initial_bitrate_bps())
+    segment_bytes = mean_bitrate * segment_interval_s / 8.0
+    service = 8.0 * segment_bytes / uplink_rate_bps
+    return MD1Model(arrival_rate_per_s=rate, service_time_s=service)
+
+
+def saturation_players(
+    uplink_rate_bps: float,
+    bitrate_bps: float | None = None,
+) -> float:
+    """k* — the player count at which the uplink saturates (ρ = 1)."""
+    mean_bitrate = (bitrate_bps if bitrate_bps is not None
+                    else mean_initial_bitrate_bps())
+    return uplink_rate_bps / mean_bitrate
+
+
+def predicted_queue_delay_s(
+    n_players: int,
+    uplink_rate_bps: float,
+    bitrate_bps: float | None = None,
+) -> float:
+    """Predicted mean queueing delay per segment (∞ past saturation)."""
+    return supernode_uplink_model(
+        n_players, uplink_rate_bps, bitrate_bps).mean_wait_s

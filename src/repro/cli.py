@@ -1,0 +1,95 @@
+"""Command-line interface: ``cloudfog <experiment> [--scale S] [--seed N]``.
+
+Examples
+--------
+::
+
+    cloudfog fig5a --scale 0.2        # coverage vs datacenters, PeerSim
+    cloudfog fig10 --scale 0.3        # rate-adaptation satisfaction sweep
+    cloudfog all --scale 0.05         # quick pass over every figure
+    cloudfog ladder                   # print the Figure 2 quality ladder
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.metrics.series import print_series
+from repro.streaming.video import QUALITY_LADDER
+
+
+def _print_ladder() -> None:
+    print("Figure 2 — video parameters for different quality levels")
+    print(f"{'level':>5} {'resolution':>12} {'bitrate':>10} "
+          f"{'latency req':>12} {'tolerance':>10}")
+    for ql in reversed(QUALITY_LADDER):
+        res = f"{ql.resolution[0]}x{ql.resolution[1]}"
+        print(f"{ql.level:>5} {res:>12} {ql.bitrate_bps/1000:>7.0f}kbps "
+              f"{ql.latency_req_s*1000:>9.0f} ms {ql.latency_tolerance:>10.1f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudfog",
+        description="CloudFog (ICPP 2015) reproduction — experiment runner",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "ladder"],
+        help="which paper figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="population scale factor in (0, 1]; 1.0 = paper scale "
+             "(default 0.1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit series as JSON instead of tables")
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render series as ASCII charts instead of tables")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "ladder":
+        _print_ladder()
+        return 0
+
+    t0 = time.time()
+    if args.experiment == "all":
+        results = run_all(scale=args.scale, seed=args.seed)
+    else:
+        results = {args.experiment: run_experiment(
+            args.experiment, scale=args.scale, seed=args.seed)}
+
+    if args.json:
+        payload = {
+            name: [s.as_dict() for s in series]
+            for name, series in results.items()
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif args.plot:
+        from repro.metrics.ascii_plot import print_chart
+        for name, series in results.items():
+            print_chart(series, title=name)
+            print()
+    else:
+        for name, series in results.items():
+            print_series(series, title=name)
+    print(f"\n[{time.time() - t0:.1f}s, scale={args.scale}, "
+          f"seed={args.seed}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

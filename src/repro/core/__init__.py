@@ -1,0 +1,38 @@
+"""CloudFog core: the paper's contribution.
+
+* :mod:`repro.core.adaptation` — receiver-driven encoding rate adaptation
+  (paper §III-B, Eqs. 7–11);
+* :mod:`repro.core.scheduling` — deadline-driven sender buffer scheduling
+  (paper §III-C, Eqs. 12–14);
+* :mod:`repro.core.assignment` — supernode assignment protocol
+  (paper §III-A-3);
+* :mod:`repro.core.cloud`, :mod:`repro.core.supernode`,
+  :mod:`repro.core.player` — the simulated entities;
+* :mod:`repro.core.infrastructure` — system variants (Cloud, EdgeCloud,
+  CloudFog/B, CloudFog-adapt, CloudFog-schedule, CloudFog/A) and the
+  packet-level session simulation that drives Figures 8–11.
+"""
+
+from repro.core.adaptation import AdaptationParams, RateAdaptationController
+from repro.core.assignment import AssignmentParams, SupernodeAssignment, assign_players
+from repro.core.infrastructure import (
+    GamingSession,
+    SessionConfig,
+    SystemVariant,
+    simulate_sessions,
+)
+from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+
+__all__ = [
+    "AdaptationParams",
+    "AssignmentParams",
+    "DeadlineSenderBuffer",
+    "GamingSession",
+    "RateAdaptationController",
+    "SchedulingParams",
+    "SessionConfig",
+    "SupernodeAssignment",
+    "SystemVariant",
+    "assign_players",
+    "simulate_sessions",
+]

@@ -1,0 +1,236 @@
+"""Supernode assignment protocol (paper §III-A-3).
+
+The cloud keeps a table of supernodes (addresses, coordinates, available
+capacity). When a player joins:
+
+1. the cloud returns the player's physically closest supernode candidates
+   (coordinates from IP geolocation — here, the true plane coordinates);
+2. the player probes the transmission delay to each candidate and removes
+   those exceeding its threshold ``L_max`` (derived from its game's
+   response latency requirement);
+3. it connects to the lowest-delay candidate with available capacity and
+   records the rest as backups;
+4. if no candidate qualifies, it connects directly to the cloud (its
+   nearest datacenter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.network.geometry import pairwise_distances_km
+from repro.network.latency import LatencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentParams:
+    """Constants of the assignment protocol."""
+
+    #: How many nearby supernode candidates the cloud returns.
+    n_candidates: int = 8
+    #: Fraction of the game's latency requirement budgeted for the
+    #: one-way supernode-to-player path when deriving L_max. The paper
+    #: leaves the derivation to the player ("based on the genre of its
+    #: game"); a response involves an upstream and a downstream leg, so
+    #: half the requirement is the natural budget.
+    lmax_fraction: float = 0.5
+    #: Backups recorded per player.
+    n_backups: int = 2
+    #: Apply the L_max probe filter (CloudFog's protocol). EdgeCloud has
+    #: no such protocol — players simply use their closest server — so
+    #: its assignment sets this to False.
+    filter_by_lmax: bool = True
+    #: Candidate preference (ablation switch): ``"nearest"`` is the
+    #: paper's lowest-probed-delay rule; ``"random"`` picks any
+    #: qualified candidate with capacity.
+    policy: str = "nearest"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("nearest", "random"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.n_candidates < 1:
+            raise ValueError("need at least one candidate")
+        if not 0.0 < self.lmax_fraction <= 1.0:
+            raise ValueError("lmax_fraction must lie in (0, 1]")
+        if self.n_backups < 0:
+            raise ValueError("n_backups must be nonnegative")
+
+
+@dataclass(slots=True)
+class AssignmentResult:
+    """Outcome of one player's assignment."""
+
+    player_host_id: int
+    #: Serving supernode host id, or None when the player fell back to
+    #: the cloud.
+    supernode_host_id: Optional[int]
+    #: Nearest datacenter host id (the fallback and the action-upload
+    #: target in all cases).
+    datacenter_host_id: int
+    #: Backup supernode host ids in preference order.
+    backups: tuple[int, ...] = ()
+
+    @property
+    def uses_supernode(self) -> bool:
+        return self.supernode_host_id is not None
+
+
+class SupernodeAssignment:
+    """Stateful assignment service tracking supernode capacities.
+
+    Parameters
+    ----------
+    latency:
+        The latency model (used for candidate probing).
+    supernode_host_ids:
+        Host ids of deployed supernodes.
+    supernode_capacities:
+        Slots per supernode, aligned with ``supernode_host_ids``.
+    datacenter_host_ids:
+        Host ids of the cloud's datacenters.
+    params:
+        Protocol constants.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        supernode_host_ids: np.ndarray,
+        supernode_capacities: np.ndarray,
+        datacenter_host_ids: np.ndarray,
+        params: AssignmentParams | None = None,
+        trust=None,
+    ):
+        self.latency = latency
+        self.params = params or AssignmentParams()
+        #: Optional :class:`~repro.core.trust.TrustRegistry`; evicted
+        #: supernodes are dropped from the candidate table (the cloud's
+        #: table only lists supernodes in good standing).
+        self.trust = trust
+        self.sn_host_ids = np.asarray(supernode_host_ids, dtype=int)
+        self.capacities = np.asarray(supernode_capacities, dtype=int).copy()
+        if self.sn_host_ids.shape != self.capacities.shape:
+            raise ValueError("supernode ids and capacities must align")
+        if np.any(self.capacities < 0):
+            raise ValueError("capacities must be nonnegative")
+        self.dc_host_ids = np.asarray(datacenter_host_ids, dtype=int)
+        if self.dc_host_ids.size == 0:
+            raise ValueError("need at least one datacenter")
+        self.load = np.zeros_like(self.capacities)
+        self._sn_index = {int(h): i for i, h in enumerate(self.sn_host_ids)}
+        #: player host id -> serving supernode index (for release()).
+        self._placements: dict[int, int] = {}
+        #: Shuffle source for the "random" ablation policy (seeded so
+        #: assignment stays deterministic).
+        self._policy_rng = np.random.default_rng(0xC10D)
+
+    # -- queries -------------------------------------------------------------
+    def available_slots(self, supernode_host_id: int) -> int:
+        """Free capacity slots of a supernode."""
+        idx = self._sn_index[int(supernode_host_id)]
+        return int(self.capacities[idx] - self.load[idx])
+
+    def nearest_datacenter(self, player_host_id: int) -> int:
+        """The datacenter with the lowest one-way latency to the player."""
+        lat = self.latency.one_way_matrix_s(
+            np.array([player_host_id]), self.dc_host_ids)[0]
+        return int(self.dc_host_ids[int(np.argmin(lat))])
+
+    def candidates_for(self, player_host_id: int) -> np.ndarray:
+        """Physically closest supernode candidates (the cloud's step 1).
+
+        Supernodes evicted by the trust registry never appear: the
+        cloud's table only lists supernodes in good standing.
+        """
+        pool = self.sn_host_ids
+        if self.trust is not None and pool.size:
+            pool = np.array([h for h in pool
+                             if self.trust.is_active(int(h))], dtype=int)
+        if pool.size == 0:
+            return np.empty(0, dtype=int)
+        dists = pairwise_distances_km(
+            self.latency.positions_km[[player_host_id]],
+            self.latency.positions_km[pool])[0]
+        k = min(self.params.n_candidates, pool.size)
+        order = np.argsort(dists, kind="stable")[:k]
+        return pool[order]
+
+    # -- assignment ------------------------------------------------------------
+    def assign(
+        self,
+        player_host_id: int,
+        game_latency_req_s: float,
+    ) -> AssignmentResult:
+        """Run the full §III-A-3 protocol for one joining player."""
+        lmax = self.params.lmax_fraction * game_latency_req_s
+        dc = self.nearest_datacenter(player_host_id)
+        candidates = self.candidates_for(player_host_id)
+        if candidates.size == 0:
+            return AssignmentResult(player_host_id, None, dc)
+
+        # Step 2: probe transmission delay, filter by L_max.
+        delays = self.latency.one_way_matrix_s(
+            np.array([player_host_id]), candidates)[0]
+        qualified = [
+            (float(delays[i]), int(candidates[i]))
+            for i in range(candidates.size)
+            if not self.params.filter_by_lmax or delays[i] <= lmax
+        ]
+        if self.params.policy == "random":
+            self._policy_rng.shuffle(qualified)
+        else:
+            qualified.sort()
+
+        # Step 3: lowest delay with available capacity; rest are backups.
+        chosen: Optional[int] = None
+        backups: list[int] = []
+        for _, sn_host in qualified:
+            if chosen is None and self.available_slots(sn_host) > 0:
+                chosen = sn_host
+            elif len(backups) < self.params.n_backups:
+                backups.append(sn_host)
+
+        if chosen is None:
+            return AssignmentResult(player_host_id, None, dc)
+
+        idx = self._sn_index[chosen]
+        self.load[idx] += 1
+        self._placements[int(player_host_id)] = idx
+        return AssignmentResult(player_host_id, chosen, dc, tuple(backups))
+
+    def release(self, player_host_id: int) -> None:
+        """Free the player's slot (player left the system)."""
+        idx = self._placements.pop(int(player_host_id), None)
+        if idx is not None:
+            self.load[idx] -= 1
+
+    @property
+    def supernodes_in_use(self) -> int:
+        """Supernodes currently serving at least one player."""
+        return int(np.count_nonzero(self.load))
+
+
+def assign_players(
+    latency: LatencyModel,
+    player_host_ids: np.ndarray,
+    game_latency_reqs_s: np.ndarray,
+    supernode_host_ids: np.ndarray,
+    supernode_capacities: np.ndarray,
+    datacenter_host_ids: np.ndarray,
+    params: AssignmentParams | None = None,
+) -> list[AssignmentResult]:
+    """Batch-assign a whole player set in order (coverage experiments)."""
+    player_host_ids = np.asarray(player_host_ids, dtype=int)
+    reqs = np.asarray(game_latency_reqs_s, dtype=float)
+    if player_host_ids.shape != reqs.shape:
+        raise ValueError("player ids and latency requirements must align")
+    service = SupernodeAssignment(
+        latency, supernode_host_ids, supernode_capacities,
+        datacenter_host_ids, params)
+    return [
+        service.assign(int(h), float(r))
+        for h, r in zip(player_host_ids, reqs)
+    ]

@@ -1,0 +1,124 @@
+"""Player endpoint: playback, QoE accounting, adaptation feedback.
+
+A :class:`PlayerEndpoint` owns the receive side of one gaming session: the
+playback buffer (continuity and satisfaction accounting), the
+receiver-driven rate adaptation controller, and the feedback channel back
+to the serving server's encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.adaptation import (
+    AdaptationParams,
+    Adjustment,
+    RateAdaptationController,
+)
+from repro.core.server import StreamingServer
+from repro.network.packet import VideoSegment
+from repro.sim.engine import Environment
+from repro.streaming.playback import PlaybackBuffer
+from repro.streaming.video import SEGMENT_DURATION_S
+from repro.workload.games import Game
+
+
+class PlayerEndpoint:
+    """The receive side of one player's session.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    player_id:
+        Player identity (also the encoder key at the server).
+    game:
+        The game being played (latency requirement, tolerances).
+    server:
+        The serving :class:`StreamingServer`.
+    feedback_delay_s:
+        One-way latency of the player-to-server feedback path.
+    use_adaptation:
+        Enable the §III-B receiver-driven rate adaptation.
+    adaptation_params:
+        Constants for the adaptation controller.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        player_id: int,
+        game: Game,
+        server: StreamingServer,
+        feedback_delay_s: float,
+        use_adaptation: bool = False,
+        adaptation_params: AdaptationParams | None = None,
+        stats_after_s: float = 0.0,
+    ):
+        self.env = env
+        self.player_id = player_id
+        self.game = game
+        self.server = server
+        self.feedback_delay_s = feedback_delay_s
+        #: Warmup horizon: segments for actions before this time drive
+        #: adaptation but are excluded from the QoE counters, so the
+        #: reported steady state is not polluted by the convergence
+        #: transient (the paper's sessions run for hours).
+        self.stats_after_s = stats_after_s
+        self.playback = PlaybackBuffer(segment_duration_s=SEGMENT_DURATION_S)
+        self.controller: Optional[RateAdaptationController] = None
+        if use_adaptation:
+            self.controller = RateAdaptationController(
+                game.latency_tolerance, adaptation_params)
+        #: Pending feedback in flight (debounces duplicate requests).
+        self._feedback_pending = False
+
+    # -- delivery path ---------------------------------------------------------
+    def deliver(self, segment: VideoSegment, now_s: float) -> None:
+        """Receive one segment from the server (the server's callback)."""
+        in_window = segment.action_time_s >= self.stats_after_s
+        if segment.remaining_packets == 0:
+            if in_window:
+                self.playback.on_segment_lost(segment)
+            return
+        if in_window:
+            self.playback.on_segment_arrival(segment, now_s)
+        if self.controller is not None:
+            r = self.playback.buffered_segments(now_s)
+            missed = now_s > segment.deadline_s + 1e-12
+            decision = self.controller.observe(r, deadline_missed=missed)
+            if decision is not Adjustment.NONE:
+                self._send_feedback(decision)
+
+    def _send_feedback(self, decision: Adjustment) -> None:
+        """Ship an encoder adjustment request upstream (one-way delay)."""
+        if self._feedback_pending:
+            return
+        self._feedback_pending = True
+
+        def apply(_ev, decision=decision):
+            self._feedback_pending = False
+            encoder = self.server.encoders.get(self.player_id)
+            if encoder is None:
+                return
+            if decision is Adjustment.UP:
+                encoder.adjust_up()
+            else:
+                encoder.adjust_down()
+            if self.controller is not None:
+                self.controller.reset()
+
+        ev = self.env.timeout(self.feedback_delay_s)
+        ev.callbacks.append(apply)
+
+    # -- reporting ---------------------------------------------------------------
+    @property
+    def stats(self):
+        """The playback QoE counters."""
+        return self.playback.stats
+
+    def is_satisfied(self) -> bool:
+        """Paper §IV: within loss tolerance and ≥95 % of received
+        packets inside the latency requirement."""
+        return self.playback.stats.is_satisfied(
+            loss_tolerance=self.game.loss_tolerance)

@@ -1,0 +1,196 @@
+"""Generic streaming server: the render-encode-queue-send pipeline.
+
+A :class:`StreamingServer` is anything that renders game video and streams
+it to players over a shared, rate-limited uplink: a supernode, an
+EdgeCloud edge server, or a datacenter acting as the streamer in the plain
+cloud gaming baseline. The differences between system variants reduce to
+
+* which queue discipline the sender buffer uses (FIFO vs deadline-driven);
+* whether per-player encoders accept rate-adaptation feedback;
+* how large the uplink is (supernode slots vs datacenter egress).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+from repro.network.packet import VideoSegment
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.streaming.encoder import SegmentEncoder
+from repro.streaming.sender_buffer import FifoSenderBuffer
+
+#: Deliver callback signature: (segment, arrival_time_s) -> None.
+DeliverFn = Callable[[VideoSegment, float], None]
+
+
+class StreamingServer:
+    """A video-rendering host with a shared uplink and a sender queue.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    host_id:
+        The server's host id in the topology.
+    uplink_rate_bps:
+        λ_r — total upload rate shared by all served players.
+    render_delay_s:
+        l_s — per-segment rendering time.
+    use_deadline_scheduling:
+        Choose the deadline-driven buffer (CloudFog-schedule / CloudFog/A)
+        over plain FIFO.
+    server_receive_delay_s:
+        Nominal l_r handed to the deadline scheduler's estimator.
+    scheduling_params:
+        Constants for the deadline scheduler.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        host_id: int,
+        uplink_rate_bps: float,
+        render_delay_s: float = 0.005,
+        use_deadline_scheduling: bool = False,
+        server_receive_delay_s: float = 0.0,
+        scheduling_params: SchedulingParams | None = None,
+    ):
+        if uplink_rate_bps <= 0:
+            raise ValueError("uplink rate must be positive")
+        self.env = env
+        self.host_id = host_id
+        self.uplink_rate_bps = uplink_rate_bps
+        self.render_delay_s = render_delay_s
+        self.use_deadline_scheduling = use_deadline_scheduling
+        if use_deadline_scheduling:
+            self.buffer = DeadlineSenderBuffer(
+                uplink_rate_bps,
+                server_receive_delay_s=server_receive_delay_s,
+                render_delay_s=render_delay_s,
+                params=scheduling_params,
+            )
+        else:
+            self.buffer = FifoSenderBuffer()
+        #: encoders keyed by player id.
+        self.encoders: dict[int, SegmentEncoder] = {}
+        #: per-player delivery callbacks and propagation delays.
+        self._routes: dict[int, tuple[DeliverFn, float]] = {}
+        self.bytes_sent = 0.0
+        self.segments_sent = 0
+        self._wake: Optional[Event] = None
+        self._proc = env.process(self._sender_loop())
+
+    # -- player management ---------------------------------------------------
+    def attach_player(
+        self,
+        player_id: int,
+        encoder: SegmentEncoder,
+        deliver: DeliverFn,
+        propagation_s: float,
+        path_rate_bps: float = float("inf"),
+    ) -> None:
+        """Register a served player: its encoder and downstream path.
+
+        ``path_rate_bps`` caps the streaming throughput of the
+        server-to-player path (window-limited transport over the path's
+        RTT); a segment spends ``size × 8 / path_rate`` in the pipe on
+        top of the propagation delay.
+        """
+        if path_rate_bps <= 0:
+            raise ValueError("path rate must be positive")
+        self.encoders[player_id] = encoder
+        self._routes[player_id] = (deliver, propagation_s, path_rate_bps)
+        if self.use_deadline_scheduling:
+            # Seed the Eq. 13 estimator so the first segments already
+            # schedule against a sane downstream estimate.
+            self.buffer.propagation.record(player_id, propagation_s)
+
+    def detach_player(self, player_id: int) -> None:
+        """Unregister a player (session ended)."""
+        self.encoders.pop(player_id, None)
+        self._routes.pop(player_id, None)
+
+    @property
+    def n_players(self) -> int:
+        return len(self._routes)
+
+    # -- pipeline --------------------------------------------------------------
+    def render_and_send(self, player_id: int, action_time_s: float) -> None:
+        """Render one segment for ``player_id`` and queue it for sending.
+
+        The segment enters the sender buffer after the render delay.
+        """
+        encoder = self.encoders.get(player_id)
+        if encoder is None:
+            return
+        state_ready_s = self.env.now
+
+        def after_render(_ev, player_id=player_id,
+                         action_time_s=action_time_s,
+                         state_ready_s=state_ready_s):
+            enc = self.encoders.get(player_id)
+            if enc is None:
+                return
+            segment = enc.encode_segment(
+                action_time_s, self.env.now, state_ready_s=state_ready_s)
+            self.buffer.enqueue(segment, self.env.now)
+            self._wake_sender()
+
+        ev = self.env.timeout(self.render_delay_s)
+        ev.callbacks.append(after_render)
+
+    def _wake_sender(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _sender_loop(self):
+        """Drain the sender buffer at the uplink rate, forever."""
+        while True:
+            # Expiry is done here, not in the buffer: the server knows the
+            # exact route (uplink rate, path rate, propagation), so only
+            # truly hopeless segments get expired.
+            segment = self.buffer.dequeue()
+            if segment is None:
+                self._wake = self.env.event()
+                yield self._wake
+                self._wake = None
+                continue
+            route = self._routes.get(segment.player_id)
+
+            if (self.use_deadline_scheduling and route is not None
+                    and segment.remaining_packets > 0):
+                _, prop_s, rate_bps = route
+                size = segment.remaining_bytes
+                tx = 8.0 * size / self.uplink_rate_bps
+                pipe = (8.0 * size / rate_bps
+                        if rate_bps != float("inf") else 0.0)
+                if self.env.now + tx + pipe + prop_s > segment.deadline_s:
+                    expired = segment.drop_all()
+                    self.buffer.packets_dropped += expired
+                    self.buffer.segments_fully_dropped += 1
+
+            size = segment.remaining_bytes
+            if size > 0:
+                yield self.env.timeout(8.0 * size / self.uplink_rate_bps)
+                self.bytes_sent += size
+                self.segments_sent += 1
+            if route is None:
+                continue  # player left while the segment queued
+            deliver, propagation_s, path_rate_bps = route
+            # Downstream delay: the path pipes the segment at its
+            # window-limited rate, then the last packet propagates.
+            path_transfer_s = (8.0 * size / path_rate_bps
+                               if size > 0 and path_rate_bps != float("inf")
+                               else 0.0)
+            downstream_s = path_transfer_s + propagation_s
+            if self.use_deadline_scheduling:
+                self.buffer.propagation.record(
+                    segment.player_id, downstream_s)
+
+            def arrive(_ev, segment=segment, deliver=deliver):
+                deliver(segment, self.env.now)
+
+            ev = self.env.timeout(downstream_s)
+            ev.callbacks.append(arrive)

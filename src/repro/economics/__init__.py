@@ -1,0 +1,41 @@
+"""Economic model of CloudFog (paper §III-A-1 and §III-A-2).
+
+Closed-form incentive and cost accounting:
+
+* supernode contributor profit ``P_s(j)`` (Eq. 1);
+* cloud bandwidth reduction ``B_r⁻`` (Eq. 2);
+* provider saved cost ``C_g`` and its constraints (Eqs. 3–5);
+* per-supernode deployment gain ``G_s(j)`` (Eq. 6);
+* the published price points the paper reasons with (EC2 $0.085/GB,
+  $400 M per medium datacenter).
+"""
+
+from repro.economics.incentives import (
+    IncentiveParams,
+    contribution_decisions,
+    supernode_profit,
+)
+from repro.economics.pricing import (
+    SupplyMarket,
+    clearing_reward,
+    optimal_reward,
+)
+from repro.economics.provider import (
+    ProviderModel,
+    bandwidth_reduction_bps,
+    deployment_gain,
+    provider_saved_cost,
+)
+
+__all__ = [
+    "IncentiveParams",
+    "ProviderModel",
+    "SupplyMarket",
+    "bandwidth_reduction_bps",
+    "clearing_reward",
+    "contribution_decisions",
+    "deployment_gain",
+    "optimal_reward",
+    "provider_saved_cost",
+    "supernode_profit",
+]

@@ -1,0 +1,104 @@
+"""Supernode incentive mechanism (paper Eq. 1).
+
+A contributor's profit from running a supernode is
+
+    P_s(j) = c_s · c_j · u_j − cost_j                              (Eq. 1)
+
+where ``c_s`` is the reward per bandwidth unit, ``c_j`` the supernode's
+upload capacity, ``u_j`` its utilization, and ``cost_j`` the running cost
+(electricity, maintenance). A contributor joins when the profit exceeds
+its personal threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class IncentiveParams:
+    """Prices of the incentive mechanism.
+
+    Units: bandwidth in Mbps, money in dollars per Mbps-month (the exact
+    unit cancels in the comparisons; the defaults are scaled so numbers
+    are of EC2-bill magnitude — see :mod:`repro.economics.provider`).
+    """
+
+    #: c_s — reward paid per unit of contributed upload bandwidth.
+    reward_per_mbps: float = 2.0
+    #: c_c — provider revenue per unit of *saved* cloud bandwidth. Must
+    #: exceed c_s for the scheme to be viable at equal utilizations.
+    saving_per_mbps: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.reward_per_mbps < 0 or self.saving_per_mbps < 0:
+            raise ValueError("prices must be nonnegative")
+
+
+def supernode_profit(
+    reward_per_mbps: float,
+    capacity_mbps: np.ndarray | float,
+    utilization: np.ndarray | float,
+    cost: np.ndarray | float,
+) -> np.ndarray | float:
+    """P_s(j) of Eq. 1 — vectorized over supernodes.
+
+    Parameters
+    ----------
+    reward_per_mbps:
+        c_s.
+    capacity_mbps:
+        c_j, upload capacity per supernode.
+    utilization:
+        u_j ∈ [0, 1].
+    cost:
+        cost_j, in the same monetary unit as the reward.
+    """
+    capacity = np.asarray(capacity_mbps, dtype=float)
+    util = np.asarray(utilization, dtype=float)
+    if np.any(util < 0) or np.any(util > 1):
+        raise ValueError("utilization must lie in [0, 1]")
+    return reward_per_mbps * capacity * util - np.asarray(cost, dtype=float)
+
+
+def contribution_decisions(
+    reward_per_mbps: float,
+    capacity_mbps: np.ndarray,
+    utilization: np.ndarray,
+    cost: np.ndarray,
+    thresholds: np.ndarray,
+) -> np.ndarray:
+    """Which contributors choose to run a supernode.
+
+    "Contributing a supernode is lucrative when P_s(j) is greater than a
+    certain threshold (different contributors set their own thresholds
+    based on their expectations on profits)" (§III-A-1).
+
+    Returns a boolean mask over contributors.
+    """
+    profit = supernode_profit(reward_per_mbps, capacity_mbps,
+                              utilization, cost)
+    return np.asarray(profit) > np.asarray(thresholds, dtype=float)
+
+
+def participation_curve(
+    rewards_per_mbps: np.ndarray,
+    capacity_mbps: np.ndarray,
+    utilization: np.ndarray,
+    cost: np.ndarray,
+    thresholds: np.ndarray,
+) -> np.ndarray:
+    """Fraction of contributors participating at each reward level.
+
+    The incentive-effectiveness experiment sweeps c_s and reports how
+    supply responds — the supply curve the provider prices against.
+    """
+    rewards = np.asarray(rewards_per_mbps, dtype=float)
+    fractions = np.empty(rewards.shape)
+    for i, c_s in enumerate(rewards):
+        mask = contribution_decisions(
+            float(c_s), capacity_mbps, utilization, cost, thresholds)
+        fractions[i] = float(np.mean(mask)) if mask.size else 0.0
+    return fractions

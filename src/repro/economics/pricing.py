@@ -1,0 +1,104 @@
+"""Reward pricing: how much should the provider pay supernodes?
+
+The incentive sweep shows provider savings C_g rising while supply is the
+binding constraint and declining linearly in c_s afterwards — so the
+provider wants the *clearing reward*: the smallest c_s whose attracted
+supply covers the streaming demand. This module computes it (bisection
+over the monotone supply curve) and the grid-searched C_g-optimal reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.economics.incentives import contribution_decisions
+
+
+@dataclass(frozen=True)
+class SupplyMarket:
+    """The contributor population the provider prices against."""
+
+    capacity_mbps: np.ndarray
+    expected_utilization: np.ndarray
+    cost: np.ndarray
+    thresholds: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = np.asarray(self.capacity_mbps).shape[0]
+        for arr in (self.expected_utilization, self.cost, self.thresholds):
+            if np.asarray(arr).shape[0] != n:
+                raise ValueError("market arrays must align")
+
+    @property
+    def n_contributors(self) -> int:
+        return int(np.asarray(self.capacity_mbps).shape[0])
+
+    def supply_mbps(self, reward: float) -> float:
+        """Total capacity offered at reward ``c_s``."""
+        mask = contribution_decisions(
+            reward, self.capacity_mbps, self.expected_utilization,
+            self.cost, self.thresholds)
+        return float(np.asarray(self.capacity_mbps)[mask].sum())
+
+    @property
+    def max_supply_mbps(self) -> float:
+        return float(np.asarray(self.capacity_mbps).sum())
+
+
+def clearing_reward(
+    market: SupplyMarket,
+    demand_mbps: float,
+    reward_hi: float = 100.0,
+    tol: float = 1e-4,
+) -> float:
+    """Smallest reward whose supply covers ``demand_mbps``.
+
+    Raises ``ValueError`` when even full participation cannot cover the
+    demand (the market simply is not big enough).
+    """
+    if demand_mbps < 0:
+        raise ValueError("demand must be nonnegative")
+    if demand_mbps == 0:
+        return 0.0
+    if market.max_supply_mbps < demand_mbps:
+        raise ValueError(
+            f"market max supply {market.max_supply_mbps:.1f} Mbps "
+            f"< demand {demand_mbps:.1f} Mbps")
+    if market.supply_mbps(reward_hi) < demand_mbps:
+        raise ValueError("reward_hi too small to clear the market")
+    lo, hi = 0.0, reward_hi
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if market.supply_mbps(mid) >= demand_mbps:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def optimal_reward(
+    market: SupplyMarket,
+    demand_mbps: float,
+    saving_per_mbps: float,
+    update_overhead_mbps: float = 0.0,
+    grid: np.ndarray | None = None,
+) -> tuple[float, float]:
+    """(reward, saved cost) maximizing C_g over a reward grid.
+
+    The provider pays only for *used* bandwidth (min(supply, demand)) and
+    saves ``saving_per_mbps`` on every Mbps of demand it moves off the
+    cloud, minus the update fan-out overhead.
+    """
+    if grid is None:
+        grid = np.linspace(0.0, saving_per_mbps, 101)
+    best_reward, best_cg = 0.0, 0.0
+    for c_s in np.asarray(grid, dtype=float):
+        supply = market.supply_mbps(float(c_s))
+        used = min(supply, demand_mbps)
+        c_g = (saving_per_mbps * (used - update_overhead_mbps)
+               - float(c_s) * used) if used > 0 else 0.0
+        if c_g > best_cg:
+            best_reward, best_cg = float(c_s), float(c_g)
+    return best_reward, best_cg

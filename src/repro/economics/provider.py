@@ -1,0 +1,169 @@
+"""Game service provider economics (paper Eqs. 2–6).
+
+Bandwidth reduction of CloudFog over plain cloud gaming:
+
+    B_r⁻ = N·R − Λ·m − (N − n)·R = n·R − Λ·m                      (Eq. 2)
+
+Provider saved cost (to maximize):
+
+    C_g = c_c·[n·R − Λ·m] − c_s·B_s                                (Eq. 3)
+    s.t.  Σ_j c_j·u_j ≥ n·R                                        (Eq. 4)
+          u_j ≤ 1  ∀j                                              (Eq. 5)
+
+Deployment gain of adding one supernode that newly covers ν players:
+
+    G_s(j) = c_c·[ν·R − Λ] − c_s·c_j·u_j                           (Eq. 6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: EC2 bandwidth price the paper quotes: $0.085 per GB (§I).
+EC2_PRICE_PER_GB = 0.085
+#: Cost of a medium datacenter the paper quotes: ~$400 M (§IV).
+DATACENTER_COST_USD = 400e6
+
+
+def bandwidth_reduction_bps(
+    n_supported: int,
+    streaming_rate_bps: float,
+    update_rate_bps: float,
+    n_supernodes: int,
+) -> float:
+    """B_r⁻ of Eq. 2, in bits per second.
+
+    Parameters
+    ----------
+    n_supported:
+        n — players served by supernodes.
+    streaming_rate_bps:
+        R — game video streaming rate.
+    update_rate_bps:
+        Λ — cloud-to-supernode update bandwidth per supernode.
+    n_supernodes:
+        m — number of supernodes receiving updates.
+    """
+    if n_supported < 0 or n_supernodes < 0:
+        raise ValueError("counts must be nonnegative")
+    return n_supported * streaming_rate_bps - update_rate_bps * n_supernodes
+
+
+def supernode_contribution_bps(
+    capacity_bps: np.ndarray, utilization: np.ndarray
+) -> float:
+    """B_s = Σ_j c_j·u_j — total supernode bandwidth contribution."""
+    cap = np.asarray(capacity_bps, dtype=float)
+    util = np.asarray(utilization, dtype=float)
+    if np.any(util < 0) or np.any(util > 1 + 1e-12):
+        raise ValueError("utilization must lie in [0, 1] (Eq. 5)")
+    return float(np.sum(cap * util))
+
+
+def provider_saved_cost(
+    saving_per_bps: float,
+    reward_per_bps: float,
+    n_supported: int,
+    streaming_rate_bps: float,
+    update_rate_bps: float,
+    capacity_bps: np.ndarray,
+    utilization: np.ndarray,
+    enforce_support: bool = True,
+) -> float:
+    """C_g of Eq. 3, checking the Eq. 4–5 constraints.
+
+    Raises ``ValueError`` when Eq. 4 (total contribution must cover the
+    supported players' streaming demand) is violated and
+    ``enforce_support`` is set.
+    """
+    b_s = supernode_contribution_bps(capacity_bps, utilization)
+    demand = n_supported * streaming_rate_bps
+    if enforce_support and b_s + 1e-9 < demand:
+        raise ValueError(
+            f"Eq. 4 violated: contribution {b_s:.3e} bps < demand "
+            f"{demand:.3e} bps")
+    m = int(np.asarray(capacity_bps).shape[0])
+    b_r = bandwidth_reduction_bps(
+        n_supported, streaming_rate_bps, update_rate_bps, m)
+    return saving_per_bps * b_r - reward_per_bps * b_s
+
+
+def deployment_gain(
+    saving_per_bps: float,
+    reward_per_bps: float,
+    new_players_covered: float,
+    streaming_rate_bps: float,
+    update_rate_bps: float,
+    supernode_capacity_bps: float,
+    supernode_utilization: float,
+) -> float:
+    """G_s(j) of Eq. 6 — deploy the supernode iff this is positive."""
+    if not 0.0 <= supernode_utilization <= 1.0:
+        raise ValueError("utilization must lie in [0, 1]")
+    return (saving_per_bps
+            * (new_players_covered * streaming_rate_bps - update_rate_bps)
+            - reward_per_bps * supernode_capacity_bps * supernode_utilization)
+
+
+@dataclass
+class ProviderModel:
+    """Provider-side planner: greedy supernode deployment by Eq. 6.
+
+    The paper observes that for a fixed covered population ``n``, saved
+    cost grows as the supernode count ``m`` shrinks (Eq. 3) — so the
+    provider should prefer few, well-placed, highly utilized supernodes.
+    The planner deploys candidates in descending marginal-gain order and
+    stops when the next gain turns nonpositive.
+    """
+
+    saving_per_bps: float
+    reward_per_bps: float
+    streaming_rate_bps: float
+    update_rate_bps: float
+
+    def greedy_deployment(
+        self,
+        candidate_capacity_bps: np.ndarray,
+        marginal_coverage: np.ndarray,
+        utilization: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Choose which candidate supernodes to deploy.
+
+        Parameters
+        ----------
+        candidate_capacity_bps:
+            c_j per candidate.
+        marginal_coverage:
+            ν per candidate — new players covered if deployed.
+        utilization:
+            u_j assumed at planning time.
+
+        Returns indices of deployed candidates, in deployment order.
+        """
+        cap = np.asarray(candidate_capacity_bps, dtype=float)
+        nu = np.asarray(marginal_coverage, dtype=float)
+        util = np.broadcast_to(
+            np.asarray(utilization, dtype=float), cap.shape)
+        gains = np.array([
+            deployment_gain(self.saving_per_bps, self.reward_per_bps,
+                            nu[j], self.streaming_rate_bps,
+                            self.update_rate_bps, cap[j], float(util[j]))
+            for j in range(cap.shape[0])
+        ])
+        order = np.argsort(-gains, kind="stable")
+        deployed = [int(j) for j in order if gains[j] > 0]
+        return np.array(deployed, dtype=int)
+
+    def monthly_bandwidth_bill_usd(
+        self, avg_egress_bps: float, price_per_gb: float = EC2_PRICE_PER_GB
+    ) -> float:
+        """Monthly egress bill at the paper's EC2 price point.
+
+        The paper's example: 27 TB per 12 hours ≈ $130k/month at
+        $0.085/GB.
+        """
+        seconds_per_month = 30 * 24 * 3600
+        gb = avg_egress_bps * seconds_per_month / 8.0 / 1e9
+        return gb * price_per_gb

@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper figure.
+
+Every public function here regenerates the data behind one figure or
+table of the paper's §IV and returns
+:class:`~repro.metrics.series.FigureSeries` objects (the plotted lines).
+The benchmarks under ``benchmarks/`` call these and print the rows.
+
+===========  =====================================================
+paper item   driver
+===========  =====================================================
+Figure 2     :data:`repro.streaming.video.QUALITY_LADDER`
+Figure 5(a)  :func:`repro.experiments.coverage.coverage_vs_datacenters`
+Figure 5(b)  :func:`repro.experiments.coverage.coverage_vs_supernodes`
+Figure 6(a)  same drivers with the PlanetLab scenario
+Figure 6(b)  same drivers with the PlanetLab scenario
+Figure 7     :func:`repro.experiments.bandwidth.bandwidth_vs_players`
+Figure 8     :func:`repro.experiments.qoe.latency_by_system`
+Figure 9     :func:`repro.experiments.qoe.continuity_vs_players`
+Figure 10    :func:`repro.experiments.satisfaction.satisfaction_sweep`
+Figure 11    :func:`repro.experiments.satisfaction.satisfaction_sweep`
+§III-A econ  :func:`repro.experiments.economics_exp.incentive_sweep`
+===========  =====================================================
+"""
+
+from repro.experiments.scenarios import Scenario, peersim_scenario, planetlab_scenario
+
+__all__ = ["Scenario", "peersim_scenario", "planetlab_scenario"]

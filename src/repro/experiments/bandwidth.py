@@ -1,0 +1,137 @@
+"""Cloud bandwidth consumption — Figure 7.
+
+"Figures 7(a) and 7(b) show the bandwidth consumption of the cloud versus
+the number of players in the system. The result follows
+Cloud > EdgeCloud > CloudFog/B."
+
+The cloud's egress is structural, so this experiment computes it from the
+assignment outcome (who serves whom) and the per-player streaming rates:
+
+* **Cloud**: every online player streams from a datacenter → ``N × R``;
+* **EdgeCloud**: edge-served players cost the *cloud* nothing (the paper
+  excludes the extra servers' own egress) → ``(N − n_edge) × R``;
+* **CloudFog/B**: supernode-served players cost only the update fan-out
+  → ``(N − n_sn) × R + Λ × m × f_tick``.
+
+``R`` is each player's game's initial encoding bitrate (the highest
+ladder level within its latency requirement, §III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.assignment import AssignmentParams, SupernodeAssignment
+from repro.core.cloud import UPDATE_MESSAGE_BYTES
+from repro.core.infrastructure import SystemVariant
+from repro.experiments.scenarios import Scenario
+from repro.metrics.series import FigureSeries
+from repro.streaming.video import SEGMENT_DURATION_S, highest_level_for_latency
+from repro.workload.games import GAMES
+from repro.experiments.coverage import _supernode_capacities
+
+#: Cloud update tick rate (one update per supernode per segment).
+UPDATE_TICKS_PER_S = 1.0 / SEGMENT_DURATION_S
+
+
+def _player_rates_bps(pop, online_ids: np.ndarray) -> np.ndarray:
+    """Initial streaming bitrate of each online player's game."""
+    rng = pop.rngs.stream("game-choice")
+    playing: dict[int, int] = {}
+    rates = np.empty(online_ids.size)
+    for k, pid in enumerate(online_ids):
+        game = pop.social.choose_game(int(pid), playing, rng, GAMES)
+        playing[int(pid)] = game.game_id
+        rates[k] = highest_level_for_latency(game.latency_req_s).bitrate_bps
+    return rates
+
+
+def bandwidth_vs_players(
+    scenario: Scenario,
+    player_counts: Sequence[int],
+    variants: Sequence[SystemVariant] = (
+        SystemVariant.CLOUD, SystemVariant.EDGECLOUD, SystemVariant.CLOUDFOG_B),
+    update_message_bytes: int = UPDATE_MESSAGE_BYTES,
+) -> list[FigureSeries]:
+    """Figure 7: cloud egress (Mbps) vs concurrently online players."""
+    pop = scenario.build()
+    caps = _supernode_capacities(pop)
+    series = [
+        FigureSeries(label=v.value, x_label="# players",
+                     y_label="cloud bandwidth (Mbps)")
+        for v in variants
+    ]
+    for n in player_counts:
+        online = scenario.online_sample(pop, n=int(n), salt=f"online-{n}")
+        rates = _player_rates_bps(pop, online)
+        hosts = pop.player_host_ids()[online]
+        reqs = np.array([
+            _rate_to_req(r) for r in rates
+        ])
+        for s, variant in zip(series, variants):
+            egress = _cloud_egress_bps(
+                pop, variant, online, hosts, rates, reqs, caps,
+                update_message_bytes)
+            s.add(n, egress / 1e6)
+    return series
+
+
+def _rate_to_req(bitrate_bps: float) -> float:
+    """Latency requirement of the ladder level with this bitrate."""
+    from repro.streaming.video import QUALITY_LADDER
+    for ql in QUALITY_LADDER:
+        if abs(ql.bitrate_bps - bitrate_bps) < 1e-6:
+            return ql.latency_req_s
+    return QUALITY_LADDER[-1].latency_req_s
+
+
+def _cloud_egress_bps(
+    pop, variant, online, hosts, rates, reqs, caps, update_message_bytes
+) -> float:
+    if variant is SystemVariant.CLOUD:
+        return float(rates.sum())
+
+    if variant is SystemVariant.EDGECLOUD:
+        edge_ids = pop.edge_server_host_ids
+        if edge_ids.size == 0:
+            return float(rates.sum())
+        from repro.core.infrastructure import SessionConfig
+        cfg = SessionConfig()
+        service = SupernodeAssignment(
+            pop.latency, edge_ids,
+            np.full(edge_ids.size, cfg.edge_capacity_slots, dtype=int),
+            pop.datacenter_ids,
+            AssignmentParams(filter_by_lmax=False))
+        cloud_rate = 0.0
+        for host, rate, req in zip(hosts, rates, reqs):
+            res = service.assign(int(host), float(req))
+            if res.uses_supernode:
+                edge_lat = pop.latency.one_way_s(
+                    int(host), res.supernode_host_id)
+                dc_lat = pop.latency.one_way_s(
+                    int(host), res.datacenter_host_id)
+                if edge_lat <= dc_lat:
+                    continue  # edge-served: no cloud egress
+                service.release(int(host))
+            cloud_rate += rate
+        return cloud_rate
+
+    if variant.uses_fog:
+        service = SupernodeAssignment(
+            pop.latency, pop.supernode_host_ids, caps, pop.datacenter_ids)
+        cloud_rate = 0.0
+        used_supernodes: set[int] = set()
+        for host, rate, req in zip(hosts, rates, reqs):
+            res = service.assign(int(host), float(req))
+            if res.uses_supernode:
+                used_supernodes.add(res.supernode_host_id)
+            else:
+                cloud_rate += rate
+        update_rate = (8.0 * update_message_bytes * UPDATE_TICKS_PER_S
+                       * len(used_supernodes))
+        return cloud_rate + update_rate
+
+    raise ValueError(f"unsupported variant {variant}")

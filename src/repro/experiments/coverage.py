@@ -1,0 +1,102 @@
+"""Coverage experiments — Figures 5 and 6.
+
+* Figure 5(a)/6(a): user coverage vs number of datacenters, one line per
+  network latency requirement (30–110 ms). Coverage saturates: past a
+  handful of datacenters, the uncovered users are uncovered because of
+  their access networks, not distance.
+* Figure 5(b)/6(b): user coverage vs number of supernodes under the
+  current infrastructure (5 datacenters in simulation, 2 on PlanetLab).
+  Supernode capacity binds, so the assignment protocol is in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.coverage import capacity_aware_coverage, datacenter_coverage
+from repro.metrics.series import FigureSeries
+from repro.experiments.scenarios import Scenario
+
+#: The paper's latency-requirement sweep: the Figure 2 ladder values.
+DEFAULT_LATENCY_REQS_S = (0.030, 0.050, 0.070, 0.090, 0.110)
+
+
+def coverage_vs_datacenters(
+    scenario: Scenario,
+    dc_counts: Sequence[int] = (5, 10, 15, 20, 25),
+    latency_reqs_s: Sequence[float] = DEFAULT_LATENCY_REQS_S,
+) -> list[FigureSeries]:
+    """Figure 5(a)/6(a): coverage as datacenters are added.
+
+    Returns one series per latency requirement; x = datacenter count.
+    """
+    series = [
+        FigureSeries(
+            label=f"req={int(round(req * 1000))}ms",
+            x_label="# datacenters",
+            y_label="user coverage",
+        )
+        for req in latency_reqs_s
+    ]
+    for n_dc in dc_counts:
+        if n_dc < 1:
+            raise ValueError("need at least one datacenter")
+        pop = scenario.with_(n_datacenters=int(n_dc), n_supernodes=0,
+                             n_edge_servers=0).build()
+        players = pop.player_host_ids()
+        for s, req in zip(series, latency_reqs_s):
+            cov = datacenter_coverage(
+                pop.latency, players, pop.datacenter_ids, req)
+            s.add(n_dc, cov)
+    return series
+
+
+def coverage_vs_supernodes(
+    scenario: Scenario,
+    sn_counts: Sequence[int] = (0, 100, 200, 300, 400, 500, 600),
+    latency_reqs_s: Sequence[float] = DEFAULT_LATENCY_REQS_S,
+) -> list[FigureSeries]:
+    """Figure 5(b)/6(b): coverage as supernodes are deployed.
+
+    Coverage is evaluated over the concurrently online (non-supernode)
+    players with the §III-A-3 assignment protocol, so both latency *and*
+    capacity limit what a supernode deployment buys.
+    """
+    series = [
+        FigureSeries(
+            label=f"req={int(round(req * 1000))}ms",
+            x_label="# supernodes",
+            y_label="user coverage",
+        )
+        for req in latency_reqs_s
+    ]
+    for n_sn in sn_counts:
+        pop = scenario.with_(n_supernodes=int(n_sn)).build()
+        online = scenario.online_sample(pop)
+        sn_hosts = set(int(h) for h in pop.supernode_host_ids)
+        player_hosts = np.array([
+            pop.players[pid].host_id for pid in online
+            if pop.players[pid].host_id not in sn_hosts
+        ], dtype=int)
+        caps = _supernode_capacities(pop)
+        for s, req in zip(series, latency_reqs_s):
+            if n_sn == 0:
+                cov = datacenter_coverage(
+                    pop.latency, player_hosts, pop.datacenter_ids, req)
+            else:
+                cov = capacity_aware_coverage(
+                    pop.latency, player_hosts, req,
+                    pop.supernode_host_ids, caps, pop.datacenter_ids)
+            s.add(n_sn, cov)
+    return series
+
+
+def _supernode_capacities(pop) -> np.ndarray:
+    """Capacity slots of each deployed supernode, in host-id order."""
+    n_dc = pop.datacenter_ids.size
+    return np.array([
+        pop.players[int(h) - n_dc].capacity_slots
+        for h in pop.supernode_host_ids
+    ], dtype=int)

@@ -1,0 +1,113 @@
+"""Game-world substrate experiments.
+
+Two questions the main experiments' constants depend on:
+
+1. **How big is Λ really?** The cloud-to-supernode update size used by
+   Figure 7 and the economics model is a 2 KB constant; here we measure
+   it from the virtual-world substrate across avatar densities and AOI
+   radii.
+2. **Does kd-tree partitioning balance cloud servers?** The paper's
+   related work (Bezerra & Geyer) splits the world at avatar-population
+   medians; we compare its load imbalance against a uniform grid as the
+   avatar distribution gets more clustered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gameworld.interest import AreaOfInterest
+from repro.gameworld.partition import (
+    KdTreePartitioner,
+    uniform_grid_assignment,
+)
+from repro.gameworld.updates import UpdateEncoder
+from repro.gameworld.world import World, WorldParams
+from repro.metrics.series import FigureSeries
+
+
+def update_size_sweep(
+    avatar_counts: Sequence[int] = (50, 100, 200, 400),
+    aoi_radii: Sequence[float] = (50.0, 100.0, 200.0),
+    players_per_supernode: int = 20,
+    n_ticks: int = 30,
+    seed: int = 0,
+) -> list[FigureSeries]:
+    """Measured Λ (bytes/supernode/tick) vs avatar count, per AOI radius."""
+    series = [
+        FigureSeries(label=f"AOI={int(r)}", x_label="# avatars",
+                     y_label="update message bytes")
+        for r in aoi_radii
+    ]
+    for n in avatar_counts:
+        for s, radius in zip(series, aoi_radii):
+            rng = np.random.default_rng(seed)
+            world = World(rng, n_avatars=int(n))
+            encoder = UpdateEncoder(AreaOfInterest(radius))
+            n_sn = max(1, int(n) // players_per_supernode)
+            sn_players = {
+                k: list(range(k * players_per_supernode,
+                              min((k + 1) * players_per_supernode, int(n))))
+                for k in range(n_sn)
+            }
+            lam = encoder.mean_update_bytes(
+                world, rng, sn_players, n_ticks=n_ticks)
+            s.add(n, lam)
+    return series
+
+
+def partition_balance_sweep(
+    cluster_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9),
+    n_avatars: int = 400,
+    n_regions: int = 16,
+    seed: int = 0,
+) -> list[FigureSeries]:
+    """Load imbalance (max/mean) vs population clustering.
+
+    ``cluster_fraction`` of avatars sit in one tight hotspot (a popular
+    in-game city); the rest roam uniformly.
+    """
+    kd_series = FigureSeries(label="kd-tree (median splits)",
+                             x_label="clustered fraction",
+                             y_label="max/mean region load")
+    grid_series = FigureSeries(label="uniform grid",
+                               x_label="clustered fraction",
+                               y_label="max/mean region load")
+    map_size = 1000.0
+    rng = np.random.default_rng(seed)
+    for frac in cluster_fractions:
+        n_hot = int(round(frac * n_avatars))
+        hot = rng.normal(200.0, 25.0, size=(n_hot, 2))
+        cold = rng.uniform(0, map_size, size=(n_avatars - n_hot, 2))
+        positions = np.clip(np.vstack([hot, cold]), 0, map_size)
+
+        kd = KdTreePartitioner(n_regions)
+        kd_assignment = kd.partition(positions, map_size)
+        kd_series.add(frac, kd.imbalance(kd_assignment))
+
+        grid_assignment = uniform_grid_assignment(
+            positions, map_size, n_regions)
+        loads = np.bincount(grid_assignment, minlength=n_regions)
+        grid_series.add(frac, float(loads.max() / loads.mean()))
+    return [kd_series, grid_series]
+
+
+def measured_lambda_bytes(
+    n_avatars: int = 200,
+    players_per_supernode: int = 20,
+    aoi_radius: float = 100.0,
+    seed: int = 0,
+) -> float:
+    """The headline measurement: Λ under the default configuration."""
+    rng = np.random.default_rng(seed)
+    world = World(rng, n_avatars=n_avatars)
+    encoder = UpdateEncoder(AreaOfInterest(aoi_radius))
+    n_sn = max(1, n_avatars // players_per_supernode)
+    sn_players = {
+        k: list(range(k * players_per_supernode,
+                      min((k + 1) * players_per_supernode, n_avatars)))
+        for k in range(n_sn)
+    }
+    return encoder.mean_update_bytes(world, rng, sn_players, n_ticks=40)

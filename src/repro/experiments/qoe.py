@@ -1,0 +1,106 @@
+"""QoE experiments — Figures 8 (response latency) and 9 (continuity).
+
+Both run the packet-level session simulation
+(:func:`repro.core.infrastructure.simulate_sessions`) over the scenario's
+online population:
+
+* Figure 8 reports average response latency per player for each system;
+* Figure 9 sweeps the number of concurrent players and reports average
+  playback continuity per system.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.infrastructure import (
+    SessionConfig,
+    SessionResult,
+    SystemVariant,
+    simulate_sessions,
+)
+from repro.experiments.scenarios import Scenario
+from repro.metrics.series import FigureSeries
+
+ALL_SYSTEMS: tuple[SystemVariant, ...] = (
+    SystemVariant.CLOUD,
+    SystemVariant.EDGECLOUD,
+    SystemVariant.CLOUDFOG_B,
+    SystemVariant.CLOUDFOG_A,
+)
+
+
+def run_variant(
+    scenario: Scenario,
+    variant: SystemVariant,
+    n_online: int | None = None,
+    config: SessionConfig | None = None,
+    seed: int | None = None,
+) -> SessionResult:
+    """Build the population and run one variant's session simulation."""
+    pop = scenario.build(seed=seed)
+    online = scenario.online_sample(pop, n=n_online)
+    return simulate_sessions(
+        pop, variant, online, config,
+        edge_server_host_ids=pop.edge_server_host_ids)
+
+
+def latency_by_system(
+    scenario: Scenario,
+    variants: Sequence[SystemVariant] = ALL_SYSTEMS,
+    n_online: int | None = None,
+    config: SessionConfig | None = None,
+) -> FigureSeries:
+    """Figure 8: average response latency per player, per system.
+
+    The series' x values index the variants in order; labels carry the
+    mapping.
+    """
+    series = FigureSeries(
+        label=" | ".join(v.value for v in variants),
+        x_label="system (index)",
+        y_label="avg response latency (ms)",
+    )
+    for i, variant in enumerate(variants):
+        result = run_variant(scenario, variant, n_online, config)
+        series.add(i, result.mean_latency_s * 1000.0)
+    return series
+
+
+def continuity_vs_players(
+    scenario: Scenario,
+    player_counts: Sequence[int],
+    variants: Sequence[SystemVariant] = ALL_SYSTEMS,
+    config: SessionConfig | None = None,
+) -> list[FigureSeries]:
+    """Figure 9: average playback continuity vs concurrent players."""
+    series = [
+        FigureSeries(label=v.value, x_label="# players",
+                     y_label="playback continuity")
+        for v in variants
+    ]
+    for n in player_counts:
+        for s, variant in zip(series, variants):
+            result = run_variant(scenario, variant, int(n), config)
+            s.add(n, result.mean_continuity)
+    return series
+
+
+def satisfied_by_system(
+    scenario: Scenario,
+    variants: Sequence[SystemVariant] = ALL_SYSTEMS,
+    n_online: int | None = None,
+    config: SessionConfig | None = None,
+) -> FigureSeries:
+    """Satisfied-player fraction per system (supporting metric)."""
+    series = FigureSeries(
+        label=" | ".join(v.value for v in variants),
+        x_label="system (index)",
+        y_label="satisfied players",
+    )
+    for i, variant in enumerate(variants):
+        result = run_variant(scenario, variant, n_online, config)
+        series.add(i, result.satisfied_fraction)
+    return series

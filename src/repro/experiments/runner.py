@@ -1,0 +1,195 @@
+"""One-stop experiment runner.
+
+``run_experiment(name, scale)`` regenerates the data of any paper figure
+and returns its series; ``run_all`` iterates over every figure. The CLI
+(:mod:`repro.cli`) and the benchmarks are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.infrastructure import SessionConfig, SystemVariant
+from repro.experiments import coverage as cov
+from repro.experiments import bandwidth as bw
+from repro.experiments import economics_exp as econ
+from repro.experiments import qoe
+from repro.experiments import satisfaction as sat
+from repro.experiments.scenarios import (
+    Scenario,
+    peersim_scenario,
+    planetlab_scenario,
+)
+from repro.metrics.series import FigureSeries
+
+
+def _fig5a(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    return cov.coverage_vs_datacenters(scen)
+
+
+def _fig5b(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    counts = [int(round(c * scale)) for c in (0, 100, 200, 300, 400, 500, 600)]
+    return cov.coverage_vs_supernodes(scen, sn_counts=sorted(set(counts)))
+
+
+def _fig6a(scale: float, seed: int) -> list[FigureSeries]:
+    scen = planetlab_scenario(scale, seed)
+    return cov.coverage_vs_datacenters(scen, dc_counts=(1, 2, 3, 4))
+
+
+def _fig6b(scale: float, seed: int) -> list[FigureSeries]:
+    scen = planetlab_scenario(scale, seed)
+    counts = [int(round(c * scale)) for c in (0, 50, 100, 150, 200, 250, 300)]
+    return cov.coverage_vs_supernodes(scen, sn_counts=sorted(set(counts)))
+
+
+def _fig7a(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    base = scen.n_online
+    counts = [max(10, int(base * f)) for f in (0.25, 0.5, 0.75, 1.0)]
+    return bw.bandwidth_vs_players(scen, counts)
+
+
+def _fig7b(scale: float, seed: int) -> list[FigureSeries]:
+    scen = planetlab_scenario(scale, seed)
+    base = scen.n_online
+    counts = [max(5, int(base * f)) for f in (0.25, 0.5, 0.75, 1.0)]
+    return bw.bandwidth_vs_players(scen, counts)
+
+
+def _session_config(scale: float) -> SessionConfig:
+    # Shorter horizons at smaller scales keep benchmark runtimes sane
+    # without touching the steady-state numbers (warmup is excluded).
+    duration = 15.0 if scale < 0.5 else 30.0
+    return SessionConfig(duration_s=duration)
+
+
+def _fig8a(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    return [qoe.latency_by_system(scen, config=_session_config(scale))]
+
+
+def _fig8b(scale: float, seed: int) -> list[FigureSeries]:
+    scen = planetlab_scenario(scale, seed)
+    return [qoe.latency_by_system(scen, config=_session_config(scale))]
+
+
+def _fig9a(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    base = scen.n_online
+    counts = [max(10, int(base * f)) for f in (0.5, 0.75, 1.0)]
+    return qoe.continuity_vs_players(
+        scen, counts, config=_session_config(scale))
+
+
+def _fig9b(scale: float, seed: int) -> list[FigureSeries]:
+    scen = planetlab_scenario(scale, seed)
+    base = scen.n_online
+    counts = [max(5, int(base * f)) for f in (0.5, 0.75, 1.0)]
+    return qoe.continuity_vs_players(
+        scen, counts, config=_session_config(scale))
+
+
+def _fig10(scale: float, seed: int) -> list[FigureSeries]:
+    seeds = tuple(range(seed, seed + max(1, int(3 * scale) or 1)))
+    return sat.satisfaction_sweep(strategies=sat.FIG10_STRATEGIES,
+                                  seeds=seeds)
+
+
+def _fig11(scale: float, seed: int) -> list[FigureSeries]:
+    seeds = tuple(range(seed, seed + max(1, int(3 * scale) or 1)))
+    return sat.satisfaction_sweep(strategies=sat.FIG11_STRATEGIES,
+                                  seeds=seeds)
+
+
+def _economics(scale: float, seed: int) -> list[FigureSeries]:
+    scen = peersim_scenario(scale, seed)
+    participation, saved = econ.incentive_sweep(scen)
+    frontier = econ.deployment_frontier(scen)
+    return [participation, saved, frontier]
+
+
+def _churn(scale: float, seed: int) -> list[FigureSeries]:
+    from repro.experiments.churn import ChurnConfig, churn_sweep
+    duration = 30.0 + 30.0 * min(1.0, scale * 5)
+    return churn_sweep(seeds=(seed, seed + 1),
+                       config=ChurnConfig(duration_s=duration))
+
+
+def _cooperation(scale: float, seed: int) -> list[FigureSeries]:
+    from repro.experiments.cooperation import (
+        CooperationConfig,
+        cooperation_sweep,
+    )
+    duration = 20.0 + 20.0 * min(1.0, scale * 5)
+    return cooperation_sweep(seeds=(seed, seed + 1),
+                             config=CooperationConfig(duration_s=duration))
+
+
+def _gameworld(scale: float, seed: int) -> list[FigureSeries]:
+    from repro.experiments import gameworld_exp as gw
+    counts = [max(20, int(round(c * max(scale, 0.05) / 0.08)))
+              for c in (50, 100, 200, 400)]
+    return (gw.update_size_sweep(avatar_counts=sorted(set(counts)),
+                                 seed=seed)
+            + gw.partition_balance_sweep(seed=seed))
+
+
+def _security(scale: float, seed: int) -> list[FigureSeries]:
+    from repro.experiments.security import SecurityConfig, security_sweep
+    n_sessions = max(500, int(3000 * scale / 0.08))
+    return security_sweep(seeds=(seed, seed + 1),
+                          config=SecurityConfig(n_sessions=n_sessions))
+
+
+def _dynamic(scale: float, seed: int) -> list[FigureSeries]:
+    from repro.experiments.dynamic import run_dynamic
+    scen = peersim_scenario(max(scale, 0.05), seed)
+    pop = scen.build()
+    result = run_dynamic(pop, SystemVariant.CLOUDFOG_A, horizon_s=90.0,
+                         config=_session_config(scale))
+    return result.series()
+
+
+EXPERIMENTS: dict[str, Callable[[float, int], list[FigureSeries]]] = {
+    "fig5a": _fig5a,
+    "fig5b": _fig5b,
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "fig7a": _fig7a,
+    "fig7b": _fig7b,
+    "fig8a": _fig8a,
+    "fig8b": _fig8b,
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "economics": _economics,
+    # Extensions beyond the paper's figures (DESIGN.md §5b).
+    "churn": _churn,
+    "cooperation": _cooperation,
+    "gameworld": _gameworld,
+    "security": _security,
+    "dynamic": _dynamic,
+}
+
+
+def run_experiment(
+    name: str, scale: float = 0.1, seed: int = 42
+) -> list[FigureSeries]:
+    """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from "
+            f"{sorted(EXPERIMENTS)}") from None
+    return fn(scale, seed)
+
+
+def run_all(scale: float = 0.1, seed: int = 42
+            ) -> dict[str, list[FigureSeries]]:
+    """Regenerate every figure's data."""
+    return {name: run_experiment(name, scale, seed) for name in EXPERIMENTS}

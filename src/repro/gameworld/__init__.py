@@ -1,0 +1,48 @@
+"""The MMOG virtual world — the cloud's game-state computation.
+
+The paper's cloud "performs the computation of the new game state of the
+virtual world (including the new shape and position of objects and states
+of avatars)" and sends per-supernode update messages. The main experiments
+model that with a constant compute delay and a constant update size Λ;
+this package implements the substrate itself so both constants are
+*derived*, not assumed:
+
+* :mod:`repro.gameworld.avatar` / :mod:`repro.gameworld.actions` — avatar
+  state and the player actions that mutate it;
+* :mod:`repro.gameworld.world` — the tick loop: apply actions, integrate
+  movement, produce the per-tick dirty set;
+* :mod:`repro.gameworld.interest` — area-of-interest (AOI) filtering:
+  which avatars each player's update must include;
+* :mod:`repro.gameworld.partition` — kd-tree region partitioning and
+  load balancing across game servers (the Bezerra & Geyer scheme the
+  paper cites as the conventional MMOG architecture);
+* :mod:`repro.gameworld.updates` — update-message encoding: bytes per
+  supernode per tick, the measured Λ.
+
+`repro.experiments.gameworld_exp` measures Λ against avatar density and
+AOI radius and validates the 2 KB/tick constant used by the main
+experiments.
+"""
+
+from repro.gameworld.actions import Action, ActionKind
+from repro.gameworld.avatar import Avatar
+from repro.gameworld.interest import AreaOfInterest
+from repro.gameworld.objects import ObjectKind, ObjectLayer, WorldObject
+from repro.gameworld.partition import KdTreePartitioner, Region
+from repro.gameworld.updates import UpdateEncoder
+from repro.gameworld.world import World, WorldParams
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AreaOfInterest",
+    "Avatar",
+    "KdTreePartitioner",
+    "ObjectKind",
+    "ObjectLayer",
+    "Region",
+    "UpdateEncoder",
+    "World",
+    "WorldObject",
+    "WorldParams",
+]

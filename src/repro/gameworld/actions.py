@@ -1,0 +1,83 @@
+"""Player actions — the inputs the cloud turns into game state.
+
+"When node n_i makes an action (e.g., launching a strike or moving to a
+new place), this information is sent to the cloud server" (§III-A). Each
+action kind has an upstream wire size; actions are tiny compared to
+video, which is why the paper's upload leg "does not seriously affect
+the response latency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class ActionKind(Enum):
+    """The action vocabulary (paper's examples plus idles)."""
+
+    MOVE = "move"          # set a movement target / direction
+    STRIKE = "strike"      # attack another avatar
+    INTERACT = "interact"  # use an object
+    STOP = "stop"          # halt movement
+    IDLE = "idle"          # heartbeat (no state change)
+
+
+#: Upstream wire size per action kind, bytes (header + payload).
+ACTION_BYTES = {
+    ActionKind.MOVE: 16,      # header + target vector
+    ActionKind.STRIKE: 12,    # header + target avatar id
+    ActionKind.INTERACT: 12,
+    ActionKind.STOP: 8,
+    ActionKind.IDLE: 8,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One player action submitted to the cloud."""
+
+    actor_id: int
+    kind: ActionKind
+    #: MOVE: target position; others: None.
+    target_position: Optional[tuple[float, float]] = None
+    #: STRIKE/INTERACT: target avatar/object id.
+    target_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ActionKind.MOVE and self.target_position is None:
+            raise ValueError("MOVE requires a target position")
+        if self.kind is ActionKind.STRIKE and self.target_id is None:
+            raise ValueError("STRIKE requires a target id")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Upstream bytes this action costs."""
+        return ACTION_BYTES[self.kind]
+
+
+def random_action(
+    rng: np.random.Generator,
+    actor_id: int,
+    n_avatars: int,
+    map_size: float,
+) -> Action:
+    """Draw a plausible action (mostly movement, as in real MMOG traces)."""
+    roll = rng.uniform()
+    if roll < 0.70:
+        return Action(actor_id, ActionKind.MOVE,
+                      target_position=(float(rng.uniform(0, map_size)),
+                                       float(rng.uniform(0, map_size))))
+    if roll < 0.85 and n_avatars > 1:
+        target = int(rng.integers(n_avatars))
+        if target == actor_id:
+            target = (target + 1) % n_avatars
+        return Action(actor_id, ActionKind.STRIKE, target_id=target)
+    if roll < 0.92:
+        return Action(actor_id, ActionKind.INTERACT, target_id=0)
+    if roll < 0.96:
+        return Action(actor_id, ActionKind.STOP)
+    return Action(actor_id, ActionKind.IDLE)

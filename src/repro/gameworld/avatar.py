@@ -1,0 +1,53 @@
+"""Avatar state.
+
+An avatar is one player's embodiment in the virtual world: a position,
+an orientation, a velocity, and gameplay state (health). The serialized
+size of one avatar's state delta determines update-message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Serialized bytes of one avatar's full state in an update message:
+#: id (4) + position (2 x 4) + orientation (4) + velocity (2 x 4) +
+#: health (2) + action/animation code (2) = 28 bytes.
+AVATAR_STATE_BYTES = 28
+
+#: Serialized bytes of a movement-only delta (id + position + orientation).
+AVATAR_DELTA_BYTES = 16
+
+
+@dataclass(slots=True)
+class Avatar:
+    """One avatar in the virtual world."""
+
+    avatar_id: int
+    position: np.ndarray = field(
+        default_factory=lambda: np.zeros(2))
+    orientation_rad: float = 0.0
+    velocity: np.ndarray = field(
+        default_factory=lambda: np.zeros(2))
+    health: float = 100.0
+    #: Tick number of the last state change (drives delta encoding).
+    dirty_tick: int = -1
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        self.velocity = np.asarray(self.velocity, dtype=float)
+        if self.position.shape != (2,) or self.velocity.shape != (2,):
+            raise ValueError("position/velocity must be 2-vectors")
+
+    @property
+    def alive(self) -> bool:
+        return self.health > 0.0
+
+    def mark_dirty(self, tick: int) -> None:
+        """Record that the avatar changed during ``tick``."""
+        self.dirty_tick = tick
+
+    def is_dirty(self, tick: int) -> bool:
+        """Whether the avatar changed during ``tick``."""
+        return self.dirty_tick == tick

@@ -1,0 +1,75 @@
+"""Area-of-interest (AOI) filtering.
+
+A player's game video only shows the part of the world near its avatar,
+so its update message only needs the dirty avatars within its area of
+interest. AOI filtering is what keeps update messages small and nearly
+constant-size as the world grows — the property the main experiments'
+constant Λ relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gameworld.world import World
+
+
+class AreaOfInterest:
+    """Radius-based interest management over a world.
+
+    Parameters
+    ----------
+    radius:
+        AOI radius in world units.
+    """
+
+    def __init__(self, radius: float = 100.0):
+        if radius <= 0:
+            raise ValueError("AOI radius must be positive")
+        self.radius = radius
+
+    def visible_to(self, world: World, observer_id: int) -> np.ndarray:
+        """Avatar ids within the observer's AOI (excluding itself)."""
+        observer = world.avatars[observer_id]
+        ids = np.array(sorted(world.avatars), dtype=int)
+        positions = world.positions()
+        delta = positions - observer.position[None, :]
+        dist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        mask = (dist <= self.radius) & (ids != observer_id)
+        return ids[mask]
+
+    def visible_matrix(self, world: World,
+                       observer_ids: np.ndarray) -> np.ndarray:
+        """Boolean (observers x avatars) visibility matrix, vectorized."""
+        observer_ids = np.asarray(observer_ids, dtype=int)
+        ids = np.array(sorted(world.avatars), dtype=int)
+        positions = world.positions()
+        id_to_row = {int(a): k for k, a in enumerate(ids)}
+        obs_pos = np.array([
+            world.avatars[int(o)].position for o in observer_ids])
+        if obs_pos.size == 0 or positions.size == 0:
+            return np.zeros((observer_ids.size, ids.size), dtype=bool)
+        delta = obs_pos[:, None, :] - positions[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
+        visible = dist <= self.radius
+        for row, o in enumerate(observer_ids):
+            visible[row, id_to_row[int(o)]] = False
+        return visible
+
+    def interest_set(
+        self, world: World, observer_ids: np.ndarray, dirty: set[int]
+    ) -> dict[int, list[int]]:
+        """Dirty avatars each observer must be told about this tick."""
+        ids = np.array(sorted(world.avatars), dtype=int)
+        visible = self.visible_matrix(world, observer_ids)
+        dirty_mask = np.array([int(a) in dirty for a in ids])
+        out: dict[int, list[int]] = {}
+        for row, o in enumerate(np.asarray(observer_ids, dtype=int)):
+            mask = visible[row] & dirty_mask
+            # An observer always hears about its own avatar's changes.
+            own = int(o) in dirty
+            members = [int(a) for a in ids[mask]]
+            if own:
+                members.append(int(o))
+            out[int(o)] = members
+        return out

@@ -1,0 +1,151 @@
+"""World objects — the non-avatar state in update messages.
+
+The cloud's game-state computation covers "the new shape and position of
+objects and states of avatars" (§III-A). Objects are the interactables
+of the virtual world: chests, doors, resource nodes. An INTERACT action
+consumes the nearest available object; consumed objects respawn after a
+cooldown. Object state changes travel in update messages alongside
+avatar deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+#: Serialized bytes of one object's state in an update message:
+#: id (4) + position (2 x 4) + kind (1) + state (1) + respawn (2).
+OBJECT_STATE_BYTES = 16
+
+
+class ObjectKind(Enum):
+    CHEST = "chest"
+    DOOR = "door"
+    RESOURCE = "resource"
+
+
+class ObjectState(Enum):
+    AVAILABLE = "available"
+    CONSUMED = "consumed"
+
+
+@dataclass(slots=True)
+class WorldObject:
+    """One interactable object."""
+
+    object_id: int
+    kind: ObjectKind
+    position: np.ndarray
+    state: ObjectState = ObjectState.AVAILABLE
+    #: Tick at which a consumed object respawns.
+    respawn_tick: int = -1
+    dirty_tick: int = -1
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        if self.position.shape != (2,):
+            raise ValueError("object position must be a 2-vector")
+
+    @property
+    def available(self) -> bool:
+        return self.state is ObjectState.AVAILABLE
+
+    def mark_dirty(self, tick: int) -> None:
+        self.dirty_tick = tick
+
+    def is_dirty(self, tick: int) -> bool:
+        return self.dirty_tick == tick
+
+
+class ObjectLayer:
+    """The world's object population and its interaction rules.
+
+    Parameters
+    ----------
+    rng:
+        Placement randomness.
+    n_objects:
+        Objects scattered over the map.
+    map_size:
+        Side length of the square map.
+    interact_range:
+        Maximum distance at which an avatar can use an object.
+    respawn_ticks:
+        Cooldown before a consumed object becomes available again.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_objects: int,
+        map_size: float,
+        interact_range: float = 20.0,
+        respawn_ticks: int = 100,
+    ):
+        if n_objects < 0:
+            raise ValueError("n_objects must be nonnegative")
+        if interact_range <= 0 or respawn_ticks < 1:
+            raise ValueError("invalid interaction constants")
+        self.interact_range = interact_range
+        self.respawn_ticks = respawn_ticks
+        kinds = list(ObjectKind)
+        self.objects: dict[int, WorldObject] = {
+            i: WorldObject(
+                i,
+                kinds[int(rng.integers(len(kinds)))],
+                rng.uniform(0, map_size, size=2),
+            )
+            for i in range(n_objects)
+        }
+        self.interactions = 0
+        self.failed_interactions = 0
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    def positions(self) -> np.ndarray:
+        ids = sorted(self.objects)
+        if not ids:
+            return np.empty((0, 2))
+        return np.array([self.objects[i].position for i in ids])
+
+    def nearest_available(self, position: np.ndarray) -> WorldObject | None:
+        """Closest available object within interaction range."""
+        best, best_dist = None, float("inf")
+        for obj in self.objects.values():
+            if not obj.available:
+                continue
+            dist = float(np.hypot(*(obj.position - position)))
+            if dist < best_dist:
+                best, best_dist = obj, dist
+        if best is not None and best_dist <= self.interact_range:
+            return best
+        return None
+
+    def interact(self, position: np.ndarray, tick: int) -> WorldObject | None:
+        """Consume the nearest available object; returns it (or None)."""
+        obj = self.nearest_available(np.asarray(position, dtype=float))
+        if obj is None:
+            self.failed_interactions += 1
+            return None
+        obj.state = ObjectState.CONSUMED
+        obj.respawn_tick = tick + self.respawn_ticks
+        obj.mark_dirty(tick)
+        self.interactions += 1
+        return obj
+
+    def step(self, tick: int) -> set[int]:
+        """Respawn due objects; returns ids of objects dirty this tick."""
+        dirty = set()
+        for obj in self.objects.values():
+            if (obj.state is ObjectState.CONSUMED
+                    and 0 <= obj.respawn_tick <= tick):
+                obj.state = ObjectState.AVAILABLE
+                obj.respawn_tick = -1
+                obj.mark_dirty(tick)
+            if obj.is_dirty(tick):
+                dirty.add(obj.object_id)
+        return dirty

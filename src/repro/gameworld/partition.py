@@ -1,0 +1,144 @@
+"""Kd-tree region partitioning and server load balancing.
+
+The conventional MMOG architecture the paper describes "divides the
+virtual environment into regions and assigns each region to different
+servers"; the kd-tree variant (Bezerra & Geyer, cited as [1]/[12])
+splits along alternating axes at the avatar-population median so every
+leaf region holds a balanced share of avatars. This module implements
+that scheme — it is the cloud-side compute-partitioning substrate, and a
+useful baseline for reasoning about the cloud's per-server load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """An axis-aligned rectangle of the game map."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError("degenerate region")
+
+    def contains(self, point) -> bool:
+        x, y = float(point[0]), float(point[1])
+        return (self.x_min <= x <= self.x_max
+                and self.y_min <= y <= self.y_max)
+
+    @property
+    def area(self) -> float:
+        return (self.x_max - self.x_min) * (self.y_max - self.y_min)
+
+
+class KdTreePartitioner:
+    """Median-split kd-tree over avatar positions.
+
+    Parameters
+    ----------
+    n_regions:
+        Number of leaf regions (must be a power of two — each split
+        doubles the leaf count, as in the cited scheme).
+    """
+
+    def __init__(self, n_regions: int):
+        if n_regions < 1 or (n_regions & (n_regions - 1)) != 0:
+            raise ValueError("n_regions must be a power of two")
+        self.n_regions = n_regions
+        self._regions: list[Region] = []
+
+    @property
+    def regions(self) -> list[Region]:
+        """Leaf regions of the last :meth:`partition` call."""
+        return list(self._regions)
+
+    def partition(
+        self, positions: np.ndarray, map_size: float
+    ) -> np.ndarray:
+        """Split the map; returns each avatar's leaf-region index."""
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be (n, 2)")
+        root = Region(0.0, 0.0, map_size, map_size)
+        idx = np.arange(positions.shape[0])
+        leaves: list[tuple[Region, np.ndarray]] = [(root, idx)]
+        depth = 0
+        while len(leaves) < self.n_regions:
+            axis = depth % 2
+            new_leaves = []
+            for region, members in leaves:
+                if members.size == 0:
+                    mid = ((region.x_min + region.x_max) / 2 if axis == 0
+                           else (region.y_min + region.y_max) / 2)
+                else:
+                    mid = float(np.median(positions[members, axis]))
+                lo_r, hi_r = _split(region, axis, mid)
+                coords = positions[members, axis] if members.size else \
+                    np.empty(0)
+                lo_mask = coords <= mid
+                new_leaves.append((lo_r, members[lo_mask]))
+                new_leaves.append((hi_r, members[~lo_mask]))
+            leaves = new_leaves
+            depth += 1
+
+        self._regions = [r for r, _ in leaves]
+        assignment = np.empty(positions.shape[0], dtype=int)
+        for region_idx, (_, members) in enumerate(leaves):
+            assignment[members] = region_idx
+        return assignment
+
+    def loads(self, assignment: np.ndarray) -> np.ndarray:
+        """Avatars per region."""
+        return np.bincount(np.asarray(assignment, dtype=int),
+                           minlength=self.n_regions)
+
+    def imbalance(self, assignment: np.ndarray) -> float:
+        """Max/mean load ratio (1.0 = perfectly balanced)."""
+        loads = self.loads(assignment)
+        mean = loads.mean() if loads.size else 0.0
+        if mean == 0:
+            return 1.0
+        return float(loads.max() / mean)
+
+    def locate(self, point) -> Optional[int]:
+        """Region index containing ``point`` (ties resolve to the first)."""
+        for k, region in enumerate(self._regions):
+            if region.contains(point):
+                return k
+        return None
+
+
+def _split(region: Region, axis: int, mid: float) -> tuple[Region, Region]:
+    if axis == 0:
+        mid = min(max(mid, region.x_min), region.x_max)
+        return (Region(region.x_min, region.y_min, mid, region.y_max),
+                Region(mid, region.y_min, region.x_max, region.y_max))
+    mid = min(max(mid, region.y_min), region.y_max)
+    return (Region(region.x_min, region.y_min, region.x_max, mid),
+            Region(region.x_min, mid, region.x_max, region.y_max))
+
+
+def uniform_grid_assignment(
+    positions: np.ndarray, map_size: float, n_regions: int
+) -> np.ndarray:
+    """Baseline: fixed uniform grid (what kd-trees improve upon).
+
+    ``n_regions`` must be a perfect square.
+    """
+    side = int(round(np.sqrt(n_regions)))
+    if side * side != n_regions:
+        raise ValueError("n_regions must be a perfect square")
+    positions = np.asarray(positions, dtype=float)
+    cell = map_size / side
+    xs = np.minimum((positions[:, 0] // cell).astype(int), side - 1)
+    ys = np.minimum((positions[:, 1] // cell).astype(int), side - 1)
+    return ys * side + xs

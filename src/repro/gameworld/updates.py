@@ -1,0 +1,126 @@
+"""Update-message encoding: the measured Λ.
+
+After each tick the cloud sends every supernode one update message
+containing the state deltas its players need: the union of the dirty
+avatars inside its players' areas of interest. This module measures
+those message sizes — grounding the constant ``UPDATE_MESSAGE_BYTES``
+(Λ ≈ 2 KB) the main experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gameworld.avatar import AVATAR_DELTA_BYTES, AVATAR_STATE_BYTES
+from repro.gameworld.interest import AreaOfInterest
+from repro.gameworld.objects import OBJECT_STATE_BYTES
+from repro.gameworld.world import World
+
+#: Fixed header of one update message (tick number, counts, checksum).
+UPDATE_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateMessage:
+    """One cloud-to-supernode update for one tick."""
+
+    supernode_id: int
+    tick: int
+    n_full_states: int
+    n_deltas: int
+    n_objects: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return (UPDATE_HEADER_BYTES
+                + self.n_full_states * AVATAR_STATE_BYTES
+                + self.n_deltas * AVATAR_DELTA_BYTES
+                + self.n_objects * OBJECT_STATE_BYTES)
+
+
+class UpdateEncoder:
+    """Builds per-supernode update messages from tick dirty sets.
+
+    Parameters
+    ----------
+    aoi:
+        Interest filter applied per player.
+    full_state_fraction:
+        Fraction of included avatars that need full state (combat,
+        health changes) rather than a movement delta.
+    """
+
+    def __init__(self, aoi: AreaOfInterest,
+                 full_state_fraction: float = 0.2):
+        if not 0.0 <= full_state_fraction <= 1.0:
+            raise ValueError("full_state_fraction must lie in [0, 1]")
+        self.aoi = aoi
+        self.full_state_fraction = full_state_fraction
+
+    def encode_tick(
+        self,
+        world: World,
+        dirty: set[int],
+        supernode_players: dict[int, list[int]],
+    ) -> list[UpdateMessage]:
+        """One update message per supernode for the current tick.
+
+        Parameters
+        ----------
+        supernode_players:
+            Map of supernode id to the avatar ids of the players it
+            serves.
+        """
+        messages = []
+        for sn_id, player_ids in supernode_players.items():
+            if not player_ids:
+                messages.append(UpdateMessage(sn_id, world.tick, 0, 0))
+                continue
+            interest = self.aoi.interest_set(
+                world, np.asarray(player_ids, dtype=int), dirty)
+            union: set[int] = set()
+            for members in interest.values():
+                union.update(members)
+            n_objects = self._dirty_objects_in_interest(world, player_ids)
+            n_full = int(round(self.full_state_fraction * len(union)))
+            n_delta = len(union) - n_full
+            messages.append(UpdateMessage(
+                sn_id, world.tick, n_full, n_delta, n_objects))
+        return messages
+
+    def _dirty_objects_in_interest(self, world: World,
+                                   player_ids) -> int:
+        """Dirty objects within any served player's AOI this tick."""
+        if not world.dirty_objects:
+            return 0
+        count = 0
+        for oid in world.dirty_objects:
+            obj = world.objects.objects[oid]
+            for pid in player_ids:
+                avatar = world.avatars.get(int(pid))
+                if avatar is None:
+                    continue
+                dist = float(np.hypot(*(obj.position - avatar.position)))
+                if dist <= self.aoi.radius:
+                    count += 1
+                    break
+        return count
+
+    def mean_update_bytes(
+        self,
+        world: World,
+        rng: np.random.Generator,
+        supernode_players: dict[int, list[int]],
+        n_ticks: int = 50,
+        actions_per_tick: float = 1.0,
+    ) -> float:
+        """Average Λ (bytes per supernode per tick) over a simulation."""
+        total = 0.0
+        count = 0
+        for dirty in world.run_ticks(rng, n_ticks, actions_per_tick):
+            for msg in self.encode_tick(world, dirty, supernode_players):
+                total += msg.wire_bytes
+                count += 1
+        return total / count if count else 0.0

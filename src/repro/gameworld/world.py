@@ -1,0 +1,182 @@
+"""The virtual world tick loop.
+
+Each tick the cloud collects the actions that arrived since the last
+tick, applies them (movement targets, strikes, interactions), integrates
+avatar movement, and produces the *dirty set* — the avatars whose state
+changed and must appear in update messages.
+
+Positions live on a square game map (world units are meters of game
+space; unrelated to the network plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gameworld.actions import Action, ActionKind
+from repro.gameworld.avatar import Avatar
+
+
+@dataclass(frozen=True, slots=True)
+class WorldParams:
+    """Virtual-world constants."""
+
+    #: Side length of the square map, world units.
+    map_size: float = 1000.0
+    #: Avatar movement speed, world units per second.
+    move_speed: float = 6.0
+    #: Strike reach, world units.
+    strike_range: float = 15.0
+    #: Damage per landed strike.
+    strike_damage: float = 10.0
+    #: Health regeneration per second.
+    regen_per_s: float = 1.0
+    #: Simulation tick length, seconds (10 Hz, the update cadence).
+    tick_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.map_size <= 0 or self.tick_s <= 0:
+            raise ValueError("map size and tick must be positive")
+
+
+class World:
+    """The authoritative virtual world."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_avatars: int,
+        params: WorldParams | None = None,
+        n_objects: int = 0,
+    ):
+        if n_avatars < 0:
+            raise ValueError("n_avatars must be nonnegative")
+        self.params = params or WorldParams()
+        self.tick = 0
+        self.avatars: dict[int, Avatar] = {}
+        self._move_targets: dict[int, np.ndarray] = {}
+        for i in range(n_avatars):
+            pos = rng.uniform(0, self.params.map_size, size=2)
+            self.avatars[i] = Avatar(i, position=pos,
+                                     orientation_rad=float(
+                                         rng.uniform(0, 2 * np.pi)))
+        from repro.gameworld.objects import ObjectLayer
+        #: Interactable objects ("the new shape and position of objects").
+        self.objects = ObjectLayer(rng, n_objects, self.params.map_size)
+        #: Object ids that changed during the last tick.
+        self.dirty_objects: set[int] = set()
+        self.strikes_landed = 0
+        self.strikes_missed = 0
+
+    @property
+    def n_avatars(self) -> int:
+        return len(self.avatars)
+
+    def positions(self) -> np.ndarray:
+        """(n, 2) array of avatar positions, ordered by avatar id."""
+        ids = sorted(self.avatars)
+        if not ids:
+            return np.empty((0, 2))
+        return np.array([self.avatars[i].position for i in ids])
+
+    # -- tick ------------------------------------------------------------------
+    def step(self, actions: Sequence[Action] = ()) -> set[int]:
+        """Advance one tick; returns the ids of dirty avatars."""
+        self.tick += 1
+        p = self.params
+        dirty: set[int] = set()
+
+        for action in actions:
+            avatar = self.avatars.get(action.actor_id)
+            if avatar is None or not avatar.alive:
+                continue
+            if action.kind is ActionKind.MOVE:
+                target = np.clip(np.asarray(action.target_position, float),
+                                 0.0, p.map_size)
+                self._move_targets[avatar.avatar_id] = target
+                delta = target - avatar.position
+                norm = float(np.hypot(*delta))
+                if norm > 1e-9:
+                    avatar.orientation_rad = float(
+                        np.arctan2(delta[1], delta[0]))
+                    avatar.velocity = delta / norm * p.move_speed
+                dirty.add(avatar.avatar_id)
+            elif action.kind is ActionKind.STOP:
+                self._move_targets.pop(avatar.avatar_id, None)
+                avatar.velocity = np.zeros(2)
+                dirty.add(avatar.avatar_id)
+            elif action.kind is ActionKind.STRIKE:
+                victim = self.avatars.get(action.target_id)
+                if victim is None or not victim.alive:
+                    self.strikes_missed += 1
+                    continue
+                dist = float(np.hypot(
+                    *(victim.position - avatar.position)))
+                if dist <= p.strike_range:
+                    victim.health = max(0.0,
+                                        victim.health - p.strike_damage)
+                    self.strikes_landed += 1
+                    dirty.add(victim.avatar_id)
+                    dirty.add(avatar.avatar_id)
+                else:
+                    self.strikes_missed += 1
+            elif action.kind is ActionKind.INTERACT:
+                obj = self.objects.interact(avatar.position, self.tick)
+                if obj is not None:
+                    dirty.add(avatar.avatar_id)
+            # IDLE: no state change.
+
+        # Integrate movement toward targets.
+        for aid, target in list(self._move_targets.items()):
+            avatar = self.avatars[aid]
+            if not avatar.alive:
+                self._move_targets.pop(aid, None)
+                continue
+            delta = target - avatar.position
+            dist = float(np.hypot(*delta))
+            step_len = p.move_speed * p.tick_s
+            if dist <= step_len:
+                avatar.position = target.copy()
+                avatar.velocity = np.zeros(2)
+                self._move_targets.pop(aid, None)
+            else:
+                avatar.position = avatar.position + delta / dist * step_len
+            dirty.add(aid)
+
+        # Regeneration (dirty only on integer health changes to avoid
+        # flagging every avatar every tick).
+        for avatar in self.avatars.values():
+            if avatar.alive and avatar.health < 100.0:
+                before = int(avatar.health)
+                avatar.health = min(100.0,
+                                    avatar.health + p.regen_per_s * p.tick_s)
+                if int(avatar.health) != before:
+                    dirty.add(avatar.avatar_id)
+
+        self.dirty_objects = self.objects.step(self.tick)
+        for aid in dirty:
+            self.avatars[aid].mark_dirty(self.tick)
+        return dirty
+
+    def run_ticks(
+        self,
+        rng: np.random.Generator,
+        n_ticks: int,
+        actions_per_tick: float = 1.0,
+    ) -> list[set[int]]:
+        """Drive ``n_ticks`` with random actions; returns dirty sets."""
+        from repro.gameworld.actions import random_action
+        out = []
+        for _ in range(n_ticks):
+            n_actions = rng.poisson(actions_per_tick * max(
+                1, self.n_avatars))
+            actions = [
+                random_action(rng, int(rng.integers(self.n_avatars)),
+                              self.n_avatars, self.params.map_size)
+                for _ in range(int(n_actions))
+            ] if self.n_avatars else []
+            out.append(self.step(actions))
+        return out

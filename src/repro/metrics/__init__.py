@@ -1,0 +1,25 @@
+"""Metric aggregation for experiments.
+
+The raw QoE counters live in
+:class:`~repro.streaming.playback.PlaybackStats` (per player) and
+:class:`~repro.core.infrastructure.SessionResult` (per run). This package
+provides the aggregation layer the experiment drivers and benchmarks use:
+figure series containers, summary statistics, and the coverage scan that
+Figures 5 and 6 are built from.
+"""
+
+from repro.metrics.series import FigureSeries, Summary, summarize
+from repro.metrics.coverage import (
+    capacity_aware_coverage,
+    datacenter_coverage,
+    latency_based_coverage,
+)
+
+__all__ = [
+    "FigureSeries",
+    "Summary",
+    "capacity_aware_coverage",
+    "datacenter_coverage",
+    "latency_based_coverage",
+    "summarize",
+]

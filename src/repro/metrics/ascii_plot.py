@@ -1,0 +1,91 @@
+"""Terminal plotting for figure series.
+
+Experiments are plotted in the paper; in a terminal, an ASCII chart is
+the closest equivalent. ``render`` draws one or more
+:class:`~repro.metrics.series.FigureSeries` on a shared scatter canvas
+with distinct glyphs per series and a legend — good enough to eyeball a
+crossover or a saturation knee without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.series import FigureSeries
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def render(
+    series: Sequence[FigureSeries],
+    width: int = 60,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render series onto one ASCII canvas; returns the chart text."""
+    series = [s for s in series if s.x]
+    if not series:
+        return "(no data)"
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_min is None else y_min
+    y_hi = max(ys) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        frac = min(max(frac, 0.0), 1.0)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for idx, s in enumerate(series):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for x, y in zip(s.x, s.y):
+            row, col = to_row(y), to_col(x)
+            cell = grid[row][col]
+            grid[row][col] = glyph if cell in (" ", glyph) else "?"
+
+    lines = []
+    y_label = series[0].y_label
+    lines.append(f"  {y_label}")
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:8.3g} "
+        elif r == height - 1:
+            label = f"{y_lo:8.3g} "
+        else:
+            label = " " * 9
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_label = series[0].x_label
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 10 + left + " " * max(1, pad) + right)
+    lines.append(" " * 10 + x_label)
+    for idx, s in enumerate(series):
+        lines.append(f"   {GLYPHS[idx % len(GLYPHS)]} = {s.label}")
+    return "\n".join(lines)
+
+
+def print_chart(series: Sequence[FigureSeries], title: str = "",
+                **kwargs) -> str:
+    """Render and print; returns the chart text."""
+    text = render(series, **kwargs)
+    if title:
+        text = f"== {title} ==\n{text}"
+    print(text)
+    return text

@@ -1,0 +1,81 @@
+"""User-coverage computations (Figures 5 and 6).
+
+"A user is covered by datacenter if the response latency is no more than
+the latency requirement of the user's game" (§IV). Response latency here
+is network round-trip: an action goes up, video comes down.
+
+Two flavours:
+
+* :func:`latency_based_coverage` — pure latency feasibility (a serving
+  site within the latency budget exists); vectorized, used for the
+  datacenter sweeps where capacity never binds.
+* :func:`capacity_aware_coverage` — runs the §III-A-3 assignment protocol
+  with supernode capacities, so a nearby-but-full supernode does not
+  cover; used for the supernode sweeps where capacity is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import AssignmentParams, assign_players
+from repro.network.latency import LatencyModel
+
+
+def datacenter_coverage(
+    latency: LatencyModel,
+    player_host_ids: np.ndarray,
+    datacenter_host_ids: np.ndarray,
+    latency_req_s: float,
+) -> float:
+    """Fraction of players within ``latency_req_s`` RTT of some datacenter."""
+    players = np.asarray(player_host_ids, dtype=int)
+    dcs = np.asarray(datacenter_host_ids, dtype=int)
+    if players.size == 0:
+        return 0.0
+    if dcs.size == 0:
+        return 0.0
+    best = latency.rtt_matrix_s(players, dcs).min(axis=1)
+    return float(np.mean(best <= latency_req_s))
+
+
+def latency_based_coverage(
+    latency: LatencyModel,
+    player_host_ids: np.ndarray,
+    site_host_ids: np.ndarray,
+    latency_req_s: float,
+) -> float:
+    """Fraction of players within budget of *any* serving site."""
+    return datacenter_coverage(
+        latency, player_host_ids, site_host_ids, latency_req_s)
+
+
+def capacity_aware_coverage(
+    latency: LatencyModel,
+    player_host_ids: np.ndarray,
+    latency_req_s: float,
+    supernode_host_ids: np.ndarray,
+    supernode_capacities: np.ndarray,
+    datacenter_host_ids: np.ndarray,
+    params: AssignmentParams | None = None,
+) -> float:
+    """Coverage under the real assignment protocol (capacity binds).
+
+    A player is covered when its assigned serving site (supernode via the
+    protocol, else nearest datacenter) is reachable within the latency
+    requirement (RTT).
+    """
+    players = np.asarray(player_host_ids, dtype=int)
+    if players.size == 0:
+        return 0.0
+    reqs = np.full(players.shape, latency_req_s)
+    results = assign_players(
+        latency, players, reqs, supernode_host_ids,
+        supernode_capacities, datacenter_host_ids, params)
+    covered = 0
+    for res in results:
+        site = (res.supernode_host_id if res.uses_supernode
+                else res.datacenter_host_id)
+        if latency.rtt_s(res.player_host_id, site) <= latency_req_s:
+            covered += 1
+    return covered / players.size

@@ -1,0 +1,144 @@
+"""Bandwidth-limited links and upload ports.
+
+A :class:`Link` models a point-to-point path: serialization at the sender's
+rate plus a fixed propagation delay. An :class:`UplinkPort` models a host's
+*shared* upload: all outgoing transfers serialize FIFO through one port at
+the host's upload capacity — the contention that the deadline-driven sender
+buffer scheduling is designed to manage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Link:
+    """A point-to-point path with a rate and a propagation delay.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    rate_bps:
+        Serialization rate in bits per second.
+    propagation_s:
+        One-way propagation delay in seconds.
+    """
+
+    def __init__(self, env: "Environment", rate_bps: float, propagation_s: float):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if propagation_s < 0:
+            raise ValueError("propagation delay must be nonnegative")
+        self.env = env
+        self.rate_bps = rate_bps
+        self.propagation_s = propagation_s
+
+    def transmission_time_s(self, size_bytes: float) -> float:
+        """Time to serialize ``size_bytes`` onto the link."""
+        return 8.0 * size_bytes / self.rate_bps
+
+    def delivery_time_s(self, size_bytes: float) -> float:
+        """Serialization plus propagation for a message of ``size_bytes``."""
+        return self.transmission_time_s(size_bytes) + self.propagation_s
+
+    def transfer(self, size_bytes: float):
+        """Process generator: wait out a full transfer of ``size_bytes``."""
+        yield self.env.timeout(self.delivery_time_s(size_bytes))
+
+
+class UplinkPort:
+    """A host's shared upload port: FIFO serialization at a fixed rate.
+
+    Transfers are admitted in request order; each occupies the port for its
+    serialization time, after which the payload still needs its propagation
+    delay to arrive. The port tracks cumulative bytes sent and busy time so
+    experiments can report bandwidth consumption and utilization.
+
+    Notes
+    -----
+    The port implements *work-conserving* FIFO service by keeping a virtual
+    "port free at" timestamp — O(1) per transfer, no process context needed.
+    """
+
+    def __init__(self, env: "Environment", rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError("uplink rate must be positive")
+        self.env = env
+        self.rate_bps = rate_bps
+        self._free_at_s = 0.0
+        self.bytes_sent = 0.0
+        self.busy_time_s = 0.0
+
+    @property
+    def backlog_s(self) -> float:
+        """Seconds of already-committed serialization ahead of a new send."""
+        return max(0.0, self._free_at_s - self.env.now)
+
+    def utilization(self, since_s: float = 0.0) -> float:
+        """Fraction of wall time the port has been busy since ``since_s``."""
+        horizon = self.env.now - since_s
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_s / horizon)
+
+    def send(self, size_bytes: float, propagation_s: float) -> Event:
+        """Enqueue a transfer; returns an event firing at delivery time.
+
+        The event's value is the delivery timestamp (seconds).
+        """
+        if size_bytes < 0:
+            raise ValueError("size must be nonnegative")
+        start = max(self.env.now, self._free_at_s)
+        tx = 8.0 * size_bytes / self.rate_bps
+        self._free_at_s = start + tx
+        self.bytes_sent += size_bytes
+        self.busy_time_s += tx
+        done_at = self._free_at_s + propagation_s
+        return self.env.timeout(done_at - self.env.now, value=done_at)
+
+    def departure_time_s(self, size_bytes: float) -> float:
+        """When the last bit of a hypothetical send would leave the port."""
+        start = max(self.env.now, self._free_at_s)
+        return start + 8.0 * size_bytes / self.rate_bps
+
+
+class DownlinkMeter:
+    """Accounts a receiver's download rate over a sliding window.
+
+    The receiver-driven rate adaptation needs ``d(t_k)`` — the measured
+    downloading rate (Eq. 7). This meter records byte arrivals and reports
+    the average rate over the most recent ``window_s`` seconds.
+    """
+
+    def __init__(self, env: "Environment", window_s: float = 2.0):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.env = env
+        self.window_s = window_s
+        self._arrivals: list[tuple[float, float]] = []  # (time, bytes)
+        self.total_bytes = 0.0
+
+    def record(self, size_bytes: float) -> None:
+        """Register ``size_bytes`` arriving now."""
+        self._arrivals.append((self.env.now, size_bytes))
+        self.total_bytes += size_bytes
+        self._expire()
+
+    def _expire(self) -> None:
+        cutoff = self.env.now - self.window_s
+        while self._arrivals and self._arrivals[0][0] < cutoff:
+            self._arrivals.pop(0)
+
+    def rate_bps(self) -> float:
+        """Average download rate over the window, bits per second."""
+        self._expire()
+        if not self._arrivals:
+            return 0.0
+        got = sum(b for _, b in self._arrivals)
+        return 8.0 * got / self.window_s

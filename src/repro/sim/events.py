@@ -1,0 +1,212 @@
+"""Waitable event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot occurrence: it starts *pending*, is
+*triggered* (scheduled with a value or an exception), and finally
+*processed* when the environment pops it off the heap and runs its
+callbacks. Processes wait on events by ``yield``ing them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+# Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The optional ``cause`` carries arbitrary context (e.g. the reason a
+    streaming session was torn down).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+
+    Notes
+    -----
+    Callbacks receive the event itself. After :meth:`succeed` or
+    :meth:`fail` the event is scheduled for processing at the current
+    simulation time; callbacks run when the event is popped.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: True once a failure value has been consumed by some waiter; an
+        #: unconsumed failure propagates out of Environment.run().
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value. Raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of sub-events.
+
+    The condition's value is a dict mapping each *triggered* sub-event to
+    its value at the moment the condition fired.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list["Event"], int], bool],
+        events: Iterable["Event"],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("events span multiple environments")
+
+        if not self._events:
+            self.succeed(self._collect())
+            return
+
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict["Event", Any]:
+        # `processed`, not `triggered`: Timeouts carry their value from
+        # birth, but they only *happen* when the clock reaches them.
+        return {ev: ev._value for ev in self._events if ev.processed}
+
+    def _check(self, event: "Event") -> None:
+        if self.triggered:
+            # Late failures of already-satisfied conditions must not be
+            # swallowed silently.
+            if not event._ok and not event.defused:
+                event.defused = True
+                self.env._raise_uncaught(event._value)
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def all_events(events: list["Event"], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list["Event"], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable["Event"]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when at least one sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable["Event"]):
+        super().__init__(env, Condition.any_events, events)

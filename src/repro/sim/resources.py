@@ -1,0 +1,236 @@
+"""Shared-resource primitives: stores and counted resources.
+
+``Store`` is an unbounded-or-bounded FIFO channel of Python objects —
+CloudFog uses it for update-message queues and packet pipelines.
+``PriorityStore`` pops the smallest item (by the item's own ordering) —
+the deadline-driven sender buffer builds on it. ``Resource`` is a counted
+semaphore with FIFO waiters — used for supernode capacity slots.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class StorePut(Event):
+    """Request to insert ``item``; fires once the item is accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Request to remove an item; fires with the item as its value."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO object channel with optional capacity.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items; ``inf`` by default.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item`` (waits if the store is full)."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove the oldest item matching ``filter`` (waits if none)."""
+        return StoreGet(self, filter)
+
+    # -- internal machinery -------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._insert(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if event.filter is None:
+            if self.items:
+                event.succeed(self._pop_front())
+                return True
+            return False
+        for idx, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[idx]
+                event.succeed(item)
+                return True
+        return False
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _pop_front(self) -> Any:
+        return self.items.pop(0)
+
+    def _trigger(self) -> None:
+        """Match queued puts and gets until no progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            idx = 0
+            while idx < len(self._get_queue):
+                get_ev = self._get_queue[idx]
+                if get_ev.triggered:
+                    del self._get_queue[idx]
+                    progress = True
+                elif self._do_get(get_ev):
+                    del self._get_queue[idx]
+                    progress = True
+                else:
+                    idx += 1
+            idx = 0
+            while idx < len(self._put_queue):
+                put_ev = self._put_queue[idx]
+                if put_ev.triggered:
+                    del self._put_queue[idx]
+                    progress = True
+                elif self._do_put(put_ev):
+                    del self._put_queue[idx]
+                    progress = True
+                else:
+                    idx += 1
+
+
+class PriorityStore(Store):
+    """A store that always yields its smallest item.
+
+    Items must be mutually orderable; wrap payloads in a ``(key, seq,
+    payload)`` tuple or a dataclass with ``order=True`` when the payload
+    itself is not comparable.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        super().__init__(env, capacity)
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _pop_front(self) -> Any:
+        return heapq.heappop(self.items)
+
+    def peek(self) -> Any:
+        """Smallest stored item without removing it."""
+        if not self.items:
+            raise LookupError("peek() on an empty PriorityStore")
+        return self.items[0]
+
+    def remove(self, predicate: Callable[[Any], bool]) -> list[Any]:
+        """Remove and return every stored item matching ``predicate``."""
+        kept, removed = [], []
+        for item in self.items:
+            (removed if predicate(item) else kept).append(item)
+        if removed:
+            self.items = kept
+            heapq.heapify(self.items)
+        return removed
+
+
+class ResourceRequest(Event):
+    """Pending claim of one resource slot. Usable as a context manager."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource with FIFO waiters (a semaphore with bookkeeping).
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrent holders allowed.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: list[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        """Claim one slot; the returned event fires once granted."""
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a previously granted slot (idempotent for cancelled)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Never granted: cancel the pending request instead.
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.pop(0)
+            if req.triggered:
+                continue
+            self.users.append(req)
+            req.succeed()

@@ -1,0 +1,30 @@
+"""Video streaming substrate.
+
+Implements everything between "the supernode has rendered a frame" and
+"the player's screen shows it": the quality ladder of paper Figure 2, the
+encoder that chops 30 fps game video into fixed-duration segments, the
+receiver-side playback buffer with continuity accounting, and the plain
+FIFO sender buffer that the deadline-driven scheduler (in
+:mod:`repro.core.scheduling`) replaces.
+"""
+
+from repro.streaming.video import (
+    QUALITY_LADDER,
+    QualityLevel,
+    highest_level_for_latency,
+    level_for_bitrate,
+)
+from repro.streaming.encoder import SegmentEncoder
+from repro.streaming.playback import PlaybackBuffer, PlaybackStats
+from repro.streaming.sender_buffer import FifoSenderBuffer
+
+__all__ = [
+    "FifoSenderBuffer",
+    "PlaybackBuffer",
+    "PlaybackStats",
+    "QUALITY_LADDER",
+    "QualityLevel",
+    "SegmentEncoder",
+    "highest_level_for_latency",
+    "level_for_bitrate",
+]

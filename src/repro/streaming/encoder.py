@@ -1,0 +1,131 @@
+"""Segment encoder: turns rendered game video into network segments.
+
+A supernode (or datacenter, in the baselines) runs one encoder per served
+player. The encoder produces one :class:`~repro.network.packet.VideoSegment`
+per ``SEGMENT_DURATION_S`` of video at the player's current quality level.
+The level can be changed at any segment boundary — that is the knob the
+receiver-driven rate adaptation turns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.packet import VideoSegment
+from repro.streaming.video import (
+    MAX_LEVEL,
+    MIN_LEVEL,
+    SEGMENT_DURATION_S,
+    QualityLevel,
+    get_level,
+    highest_level_for_latency,
+)
+
+
+class SegmentEncoder:
+    """Per-player video encoder with an adjustable quality level.
+
+    Parameters
+    ----------
+    player_id:
+        Destination player.
+    game_latency_req_s:
+        The player's game's response latency requirement ``L̃_r``.
+    game_loss_tolerance:
+        The game's packet loss tolerance ``L̃_t``.
+    initial_level:
+        Starting ladder level; defaults to the highest level whose latency
+        requirement fits the game (paper §III-B).
+    """
+
+    def __init__(
+        self,
+        player_id: int,
+        game_latency_req_s: float,
+        game_loss_tolerance: float,
+        initial_level: Optional[int] = None,
+    ):
+        self.player_id = player_id
+        self.game_latency_req_s = game_latency_req_s
+        self.game_loss_tolerance = game_loss_tolerance
+        if initial_level is None:
+            self._level = highest_level_for_latency(game_latency_req_s).level
+        else:
+            self._level = get_level(initial_level).level
+        #: Highest level this game may ever use (never exceed the game's
+        #: latency requirement by encoding slower-than-deadline video).
+        self.max_level = highest_level_for_latency(game_latency_req_s).level
+        self.segments_encoded = 0
+        self.bytes_encoded = 0
+
+    @property
+    def level(self) -> int:
+        """Current quality level (1..5)."""
+        return self._level
+
+    @property
+    def quality(self) -> QualityLevel:
+        """Current :class:`QualityLevel`."""
+        return get_level(self._level)
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Current encoding bitrate ``b_q`` in bits per second."""
+        return self.quality.bitrate_bps
+
+    def adjust_up(self) -> bool:
+        """Raise quality one level; returns False at the ceiling."""
+        ceiling = min(MAX_LEVEL, self.max_level)
+        if self._level >= ceiling:
+            return False
+        self._level += 1
+        return True
+
+    def adjust_down(self) -> bool:
+        """Lower quality one level; returns False at the floor."""
+        if self._level <= MIN_LEVEL:
+            return False
+        self._level -= 1
+        return True
+
+    def set_level(self, level: int) -> None:
+        """Jump directly to ``level`` (clamped to the game's ceiling)."""
+        level = min(get_level(level).level, self.max_level)
+        self._level = level
+
+    def encode_segment(
+        self,
+        action_time_s: float,
+        now_s: float,
+        duration_s: float = SEGMENT_DURATION_S,
+        state_ready_s: Optional[float] = None,
+    ) -> VideoSegment:
+        """Encode one segment of game video at the current level.
+
+        Parameters
+        ----------
+        action_time_s:
+            ``t_m`` of the player action the video responds to.
+        now_s:
+            Current simulation time (stamped as creation time).
+        duration_s:
+            Playback duration covered.
+        state_ready_s:
+            When the serving site received the game-state update
+            (anchors the segment's delivery deadline).
+        """
+        ql = self.quality
+        seg = VideoSegment(
+            player_id=self.player_id,
+            quality_level=ql.level,
+            size_bytes=ql.segment_bytes(duration_s),
+            duration_s=duration_s,
+            action_time_s=action_time_s,
+            latency_req_s=self.game_latency_req_s,
+            loss_tolerance=self.game_loss_tolerance,
+            state_ready_s=state_ready_s,
+            created_at_s=now_s,
+        )
+        self.segments_encoded += 1
+        self.bytes_encoded += seg.size_bytes
+        return seg

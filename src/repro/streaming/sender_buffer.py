@@ -1,0 +1,70 @@
+"""FIFO sender buffer — the baseline the deadline-driven scheduler replaces.
+
+Each supernode has a single queuing buffer for outgoing video segments
+(paper §III-C, citing Kanakia et al.). The baseline drains it in arrival
+order with no dropping; segments simply go out as fast as the uplink
+serializes them, however late that makes them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.packet import VideoSegment
+
+
+class FifoSenderBuffer:
+    """Arrival-order sender queue with no deadline awareness.
+
+    The buffer only *orders* segments; actual serialization timing is the
+    uplink's job. This split lets the deadline scheduler subclass swap the
+    queue discipline without touching transmission mechanics.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[VideoSegment] = []
+        self.enqueued = 0
+        self.dequeued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> float:
+        """Bytes awaiting transmission."""
+        return float(sum(seg.remaining_bytes for seg in self._queue))
+
+    def enqueue(self, segment: VideoSegment, now_s: float) -> None:
+        """Add ``segment`` to the tail of the queue."""
+        segment.enqueued_at_s = now_s
+        self._queue.append(segment)
+        self.enqueued += 1
+
+    def dequeue(self, now_s: Optional[float] = None) -> Optional[VideoSegment]:
+        """Remove and return the next segment to send (None if empty).
+
+        ``now_s`` is accepted for interface compatibility with the
+        deadline-driven buffer; the FIFO baseline sends everything in
+        order, however late.
+        """
+        if not self._queue:
+            return None
+        self.dequeued += 1
+        return self._queue.pop(0)
+
+    def peek(self) -> Optional[VideoSegment]:
+        """Next segment to send without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def iter_pending(self):
+        """Iterate queued segments in send order (mutation-unsafe)."""
+        return iter(self._queue)
+
+    def preceding_bytes(self, segment: VideoSegment) -> float:
+        """np_i: bytes of segments ahead of ``segment`` in the queue."""
+        total = 0.0
+        for seg in self._queue:
+            if seg is segment:
+                return total
+            total += seg.remaining_bytes
+        raise ValueError("segment is not in the buffer")

@@ -1,0 +1,95 @@
+"""The video quality ladder — paper Figure 2, verbatim.
+
+Each quality level couples a resolution, an encoding bitrate, the response
+latency a segment at that level must meet, and a latency tolerance degree
+(the ``ρ`` used to scale the rate-adaptation thresholds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Frame rate of game videos (OnLive streams at 30 fps; paper §IV).
+FRAME_RATE_FPS = 30
+
+#: Duration of one encoded segment in seconds. One segment carries a small
+#: group of frames; 0.1 s (3 frames at 30 fps) keeps per-action video units
+#: small enough to meet 30–110 ms deadlines.
+SEGMENT_DURATION_S = 0.1
+
+
+@dataclass(frozen=True, slots=True)
+class QualityLevel:
+    """One row of paper Figure 2."""
+
+    level: int
+    resolution: tuple[int, int]
+    bitrate_bps: float
+    latency_req_s: float
+    latency_tolerance: float  # ρ ∈ [0, 1]; higher = more tolerant
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if not 0.0 <= self.latency_tolerance <= 1.0:
+            raise ValueError("latency tolerance must be in [0, 1]")
+
+    def segment_bytes(self, duration_s: float = SEGMENT_DURATION_S) -> int:
+        """Encoded size of one segment at this level."""
+        return max(1, int(round(self.bitrate_bps * duration_s / 8.0)))
+
+
+#: Paper Figure 2: quality level -> (resolution, bitrate, latency req, ρ).
+QUALITY_LADDER: tuple[QualityLevel, ...] = (
+    QualityLevel(1, (288, 216), 300_000.0, 0.030, 0.6),
+    QualityLevel(2, (384, 216), 500_000.0, 0.050, 0.7),
+    QualityLevel(3, (640, 480), 800_000.0, 0.070, 0.8),
+    QualityLevel(4, (720, 486), 1_200_000.0, 0.090, 0.9),
+    QualityLevel(5, (1280, 720), 1_800_000.0, 0.110, 1.0),
+)
+
+MIN_LEVEL = QUALITY_LADDER[0].level
+MAX_LEVEL = QUALITY_LADDER[-1].level
+
+
+def get_level(level: int) -> QualityLevel:
+    """The :class:`QualityLevel` for ladder level ``level`` (1-based)."""
+    if not MIN_LEVEL <= level <= MAX_LEVEL:
+        raise ValueError(f"quality level must be in [{MIN_LEVEL}, {MAX_LEVEL}]")
+    ql = QUALITY_LADDER[level - 1]
+    assert ql.level == level
+    return ql
+
+
+def highest_level_for_latency(latency_req_s: float) -> QualityLevel:
+    """Highest ladder level whose latency requirement fits ``latency_req_s``.
+
+    Paper §III-B: "if a game video has a latency requirement of 90 ms, the
+    supernode should use 1200 kbps encoding bitrate" — i.e. pick the
+    highest quality whose latency requirement does not exceed the game's.
+    Falls back to the lowest level for very strict requirements.
+    """
+    best = QUALITY_LADDER[0]
+    for ql in QUALITY_LADDER:
+        if ql.latency_req_s <= latency_req_s + 1e-12:
+            best = ql
+    return best
+
+
+def level_for_bitrate(bitrate_bps: float) -> QualityLevel:
+    """Highest ladder level whose bitrate does not exceed ``bitrate_bps``."""
+    best = QUALITY_LADDER[0]
+    for ql in QUALITY_LADDER:
+        if ql.bitrate_bps <= bitrate_bps + 1e-9:
+            best = ql
+    return best
+
+
+def max_adjust_up_factor() -> float:
+    """β of Eq. 10: max relative bitrate step between adjacent levels."""
+    steps = [
+        (QUALITY_LADDER[i + 1].bitrate_bps - QUALITY_LADDER[i].bitrate_bps)
+        / QUALITY_LADDER[i].bitrate_bps
+        for i in range(len(QUALITY_LADDER) - 1)
+    ]
+    return max(steps)

@@ -1,0 +1,87 @@
+"""Node capacity distribution.
+
+The paper draws node capacities "following Pareto distribution with a mean
+of 5 and shape parameter α = 1" (§IV, citing Shen & Xu and others). A
+textbook Pareto with α = 1 has an *infinite* mean, so — as in the cited
+works — the distribution must be truncated to have one. We truncate at
+``cap`` and rescale so the empirical mean hits the target, and document
+this as a reproduction decision (DESIGN.md §2).
+
+Capacity is measured in *streaming slots*: the number of concurrent normal
+nodes a supernode can serve (the paper's ``C_j``). A node's upload
+bandwidth is its slot count times the top-ladder bitrate, so a capacity-5
+node can push five 1800 kbps streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming.video import QUALITY_LADDER
+
+#: Upload bandwidth backing one capacity slot: the top quality bitrate.
+SLOT_BANDWIDTH_BPS = QUALITY_LADDER[-1].bitrate_bps
+
+
+def pareto_capacities(
+    rng: np.random.Generator,
+    n: int,
+    mean: float = 5.0,
+    alpha: float = 1.0,
+    cap: float = 50.0,
+) -> np.ndarray:
+    """Draw ``n`` integer capacities from a truncated, rescaled Pareto.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    n:
+        Number of draws.
+    mean:
+        Target mean of the returned capacities.
+    alpha:
+        Pareto shape (α = 1 in the paper).
+    cap:
+        Truncation point, in multiples of the Pareto scale, applied
+        before rescaling. Controls how heavy the surviving tail is.
+
+    Returns
+    -------
+    Integer array of capacities, each ≥ 1.
+    """
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    if mean <= 1.0:
+        raise ValueError("mean must exceed 1 (capacities are >= 1)")
+    if alpha <= 0 or cap <= 1.0:
+        raise ValueError("alpha must be > 0 and cap > 1")
+    if n == 0:
+        return np.empty(0, dtype=int)
+
+    # Pareto(alpha) with scale 1: values in [1, inf); truncate at `cap`.
+    raw = 1.0 + rng.pareto(alpha, size=n)
+    raw = np.minimum(raw, cap)
+    # Rescale the part above the floor so the mean lands on target while
+    # every node keeps at least one slot.
+    theoretical_mean = _truncated_pareto_mean(alpha, cap)
+    scale = (mean - 1.0) / max(theoretical_mean - 1.0, 1e-9)
+    scaled = 1.0 + (raw - 1.0) * scale
+    caps = np.maximum(1, np.rint(scaled)).astype(int)
+    return caps
+
+
+def _truncated_pareto_mean(alpha: float, cap: float) -> float:
+    """Mean of a scale-1 Pareto(alpha) truncated (censored) at ``cap``."""
+    if abs(alpha - 1.0) < 1e-12:
+        # E[min(X, cap)] for pdf x^-2 on [1, inf): 1 + ln(cap)
+        return 1.0 + float(np.log(cap))
+    # General censored mean: integral_1^cap x f(x) dx + cap * P(X > cap)
+    body = alpha / (alpha - 1.0) * (1.0 - cap ** (1.0 - alpha))
+    tail = cap ** (1.0 - alpha)
+    return body + tail
+
+
+def upload_bandwidth_bps(capacities: np.ndarray) -> np.ndarray:
+    """Upload bandwidth implied by capacity slot counts (``c_j``)."""
+    return np.asarray(capacities, dtype=float) * SLOT_BANDWIDTH_BPS

@@ -1,0 +1,87 @@
+"""The five games of the paper's evaluation.
+
+"We defined 5 games, their quality levels and latency requirements are
+shown in Figure 2" (§IV) — each game's response latency requirement and
+latency tolerance degree come from one row of the quality ladder. Packet
+loss tolerance varies by game too (§III, citing Lee et al.: "different
+games have different tolerance on packet loss rate and response delay");
+the ladder does not list loss tolerances, so we assign them by genre:
+fast-paced games (strict latency) tolerate more loss — a lost frame is
+replaced 33 ms later anyway — while slow-paced games tolerate less.
+The Figure 4 worked example uses loss tolerances in the 0.2–0.6 range,
+which brackets our assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streaming.video import QUALITY_LADDER, QualityLevel, get_level
+
+
+@dataclass(frozen=True, slots=True)
+class Game:
+    """A game genre with its QoE requirements.
+
+    Attributes
+    ----------
+    game_id:
+        1..5, aligned with quality ladder levels.
+    genre:
+        Human-readable genre label.
+    latency_req_s:
+        ``L̃_r`` — response latency requirement.
+    latency_tolerance:
+        ρ — latency tolerance degree in [0, 1].
+    loss_tolerance:
+        ``L̃_t`` — fraction of packets the game tolerates losing.
+    """
+
+    game_id: int
+    genre: str
+    latency_req_s: float
+    latency_tolerance: float
+    loss_tolerance: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_tolerance <= 1.0:
+            raise ValueError("loss tolerance must be in [0, 1]")
+
+    @property
+    def quality_level(self) -> QualityLevel:
+        """The ladder row this game's requirements come from."""
+        return get_level(self.game_id)
+
+
+def _make_games() -> tuple[Game, ...]:
+    genres = (
+        "first-person shooter",   # strictest latency, most loss-tolerant
+        "racing",
+        "action RPG",
+        "MMORPG",
+        "real-time strategy",     # most latency-tolerant, least loss-tolerant
+    )
+    loss_tolerances = (0.30, 0.25, 0.20, 0.15, 0.10)
+    games = []
+    for ql, genre, loss in zip(QUALITY_LADDER, genres, loss_tolerances):
+        games.append(Game(
+            game_id=ql.level,
+            genre=genre,
+            latency_req_s=ql.latency_req_s,
+            latency_tolerance=ql.latency_tolerance,
+            loss_tolerance=loss,
+        ))
+    return tuple(games)
+
+
+#: The five games, indexed by ``game_id - 1``.
+GAMES: tuple[Game, ...] = _make_games()
+
+
+def game_for_level(game_id: int) -> Game:
+    """The game whose requirements come from ladder level ``game_id``."""
+    if not 1 <= game_id <= len(GAMES):
+        raise ValueError(f"game_id must be in [1, {len(GAMES)}]")
+    game = GAMES[game_id - 1]
+    assert game.game_id == game_id
+    return game

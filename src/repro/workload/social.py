@@ -1,0 +1,117 @@
+"""Social graph: power-law friend counts and social game choice.
+
+"The number of friends for each player follows power-law distribution with
+skew factor of 0.5" (§IV, citing the Facebook measurement study). We draw a
+power-law degree sequence with exponent derived from the skew factor and
+realize it with a configuration-model graph (self-loops and multi-edges
+removed), via networkx.
+
+The social graph drives game selection: "when a player joins the system,
+if none of its friends is playing, it randomly chooses a game to play;
+otherwise, it chooses the game that has the largest number of its friends
+playing."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.workload.games import GAMES, Game
+
+
+class SocialGraph:
+    """Friendship structure over player ids ``0..n-1``."""
+
+    def __init__(self, graph: nx.Graph, n_players: int):
+        self._graph = graph
+        self.n_players = n_players
+
+    def friends_of(self, player_id: int) -> list[int]:
+        """Friend ids of ``player_id`` (empty for isolated players)."""
+        if player_id not in self._graph:
+            return []
+        return list(self._graph.neighbors(player_id))
+
+    def degree(self, player_id: int) -> int:
+        """Number of friends of ``player_id``."""
+        return self._graph.degree(player_id) if player_id in self._graph else 0
+
+    @property
+    def nx_graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph
+
+    def choose_game(
+        self,
+        player_id: int,
+        playing: dict[int, int],
+        rng: np.random.Generator,
+        games: Sequence[Game] = GAMES,
+    ) -> Game:
+        """Pick the joining player's game (paper §IV rule).
+
+        Parameters
+        ----------
+        player_id:
+            The joining player.
+        playing:
+            Map of currently-online player id -> game id.
+        rng:
+            Randomness for the no-friends-online fallback.
+        """
+        votes = Counter()
+        for friend in self.friends_of(player_id):
+            game_id = playing.get(friend)
+            if game_id is not None:
+                votes[game_id] += 1
+        if not votes:
+            return games[int(rng.integers(len(games)))]
+        top = max(votes.values())
+        # Deterministic tie-break on game id keeps runs reproducible.
+        best_game_id = min(g for g, v in votes.items() if v == top)
+        return games[best_game_id - 1]
+
+
+def powerlaw_degree_sequence(
+    rng: np.random.Generator,
+    n: int,
+    skew: float = 0.5,
+    max_degree: Optional[int] = None,
+) -> np.ndarray:
+    """Draw a power-law degree sequence with the paper's skew factor.
+
+    Skew 0.5 means P(degree = k) ∝ k^-(1 + skew); degrees start at 1.
+    The sequence sum is forced even so a configuration model exists.
+    """
+    if n <= 0:
+        return np.zeros(0, dtype=int)
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    exponent = 1.0 + skew
+    if max_degree is None:
+        max_degree = max(2, int(np.sqrt(n)))
+    ks = np.arange(1, max_degree + 1, dtype=float)
+    probs = ks ** (-exponent)
+    probs /= probs.sum()
+    degrees = rng.choice(np.arange(1, max_degree + 1), size=n, p=probs)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(n))] += 1
+    return degrees.astype(int)
+
+
+def build_social_graph(
+    rng: np.random.Generator,
+    n_players: int,
+    skew: float = 0.5,
+) -> SocialGraph:
+    """Realize the power-law friendship graph for ``n_players`` players."""
+    degrees = powerlaw_degree_sequence(rng, n_players, skew)
+    seed = int(rng.integers(2**31 - 1))
+    multigraph = nx.configuration_model(degrees.tolist(), seed=seed)
+    graph = nx.Graph(multigraph)  # collapse multi-edges
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    return SocialGraph(graph, n_players)

@@ -1,0 +1,50 @@
+"""Shared fixtures for the CloudFog reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import peersim_scenario, planetlab_scenario
+from repro.sim.engine import Environment
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A deterministic RNG registry."""
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def rng(rngs) -> np.random.Generator:
+    """One generic random stream."""
+    return rngs.stream("test")
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    """A small but structurally complete population (cached per session).
+
+    Uses the PeerSim scenario at 3 % scale: 300 players, 5 datacenters,
+    18 supernodes, 2 edge servers.
+    """
+    return peersim_scenario(scale=0.03, seed=7).build()
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """The scenario matching ``small_population``."""
+    return peersim_scenario(scale=0.03, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_planetlab():
+    """A small PlanetLab-flavoured population."""
+    return planetlab_scenario(scale=0.1, seed=7).build()

@@ -1,0 +1,127 @@
+"""Unit tests for the ablation switches on the core strategies."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationParams, RateAdaptationController
+from repro.core.assignment import AssignmentParams
+from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+
+RATE = 8.0 * PACKET_PAYLOAD_BYTES * 100
+
+
+def seg(player=0, n_packets=10, req=0.1, tolerance=0.3):
+    return VideoSegment(
+        player_id=player, quality_level=1,
+        size_bytes=PACKET_PAYLOAD_BYTES * n_packets, duration_s=0.1,
+        action_time_s=0.0, latency_req_s=req, loss_tolerance=tolerance)
+
+
+class TestRhoScalingSwitch:
+    def test_off_uses_unit_rho(self):
+        ctl = RateAdaptationController(
+            0.6, AdaptationParams(rho_scaling=False))
+        base = RateAdaptationController(
+            1.0, AdaptationParams(rho_scaling=True))
+        assert ctl.up_threshold == base.up_threshold
+        assert ctl.down_threshold == base.down_threshold
+
+    def test_on_scales(self):
+        strict = RateAdaptationController(
+            0.6, AdaptationParams(rho_scaling=True))
+        assert strict.rho == 0.6
+
+
+class TestDropWeightingSwitch:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingParams(drop_weighting="bogus")
+
+    def _drops_for(self, mode):
+        buf = DeadlineSenderBuffer(
+            RATE, params=SchedulingParams(drop_weighting=mode))
+        tolerant = seg(player=1, n_packets=50, req=1.0, tolerance=0.6)
+        brittle = seg(player=2, n_packets=50, req=1.0, tolerance=0.1)
+        buf.enqueue(tolerant, 0.0)
+        buf.enqueue(brittle, 0.0)
+        buf.enqueue(seg(player=3, n_packets=10, req=0.02, tolerance=0.5),
+                    0.0)
+        return tolerant.dropped_packets, brittle.dropped_packets
+
+    def test_uniform_ignores_tolerance_for_weights(self):
+        tol_drops, brittle_drops = self._drops_for("uniform")
+        # Uniform weights: shares are equal until tolerance caps bind.
+        assert brittle_drops <= tol_drops  # cap still binds for brittle
+
+    def test_tolerance_weighting_skews_drops(self):
+        tol_drops, brittle_drops = self._drops_for("tolerance")
+        assert tol_drops >= brittle_drops
+
+    def test_paper_mode_default(self):
+        assert SchedulingParams().drop_weighting == "tolerance_decay"
+
+
+class TestDroppingSwitch:
+    def test_disabled_never_drops_at_enqueue(self):
+        buf = DeadlineSenderBuffer(
+            RATE, params=SchedulingParams(enable_dropping=False))
+        big = seg(player=1, n_packets=200, req=2.0, tolerance=0.5)
+        urgent = seg(player=2, n_packets=10, req=0.01, tolerance=0.5)
+        buf.enqueue(big, 0.0)
+        buf.enqueue(urgent, 0.0)
+        assert buf.packets_dropped == 0
+        assert big.dropped_packets == 0
+
+    def test_edf_order_kept_without_dropping(self):
+        buf = DeadlineSenderBuffer(
+            RATE, params=SchedulingParams(enable_dropping=False))
+        buf.enqueue(seg(player=1, req=0.9), 0.0)
+        buf.enqueue(seg(player=2, req=0.1), 0.0)
+        assert buf.dequeue().player_id == 2
+
+
+class TestAssignmentPolicySwitch:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentParams(policy="closest")
+
+    def test_random_policy_assigns_somewhere(self, rng):
+        import numpy as np
+        from repro.core.assignment import SupernodeAssignment
+        from repro.network.latency import LatencyModel, LatencyParams
+        positions = np.array(
+            [[0.0, 0.0]] + [[float(i), 0.0] for i in range(1, 6)]
+            + [[2.0, 2.0]])
+        params = LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0)
+        lat = LatencyModel(positions, rng, params,
+                           metro_ids=np.zeros(7, dtype=int))
+        service = SupernodeAssignment(
+            lat, np.arange(1, 6), np.full(5, 3), np.array([0]),
+            AssignmentParams(policy="random", filter_by_lmax=False))
+        res = service.assign(6, 0.110)
+        assert res.uses_supernode
+
+    def test_random_differs_from_nearest_sometimes(self, rng):
+        import numpy as np
+        from repro.core.assignment import SupernodeAssignment
+        from repro.network.latency import LatencyModel, LatencyParams
+        positions = np.vstack([
+            np.zeros((1, 2)),
+            np.column_stack([np.linspace(1, 50, 10), np.zeros(10)]),
+            np.full((1, 2), 5.0),
+        ])
+        params = LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0)
+        lat = LatencyModel(positions, rng, params,
+                           metro_ids=np.zeros(12, dtype=int))
+        nearest = SupernodeAssignment(
+            lat, np.arange(1, 11), np.full(10, 5), np.array([0]),
+            AssignmentParams(policy="nearest", filter_by_lmax=False))
+        random_ = SupernodeAssignment(
+            lat, np.arange(1, 11), np.full(10, 5), np.array([0]),
+            AssignmentParams(policy="random", filter_by_lmax=False))
+        n_choices = {nearest.assign(11, 0.110).supernode_host_id
+                     for _ in range(1)}
+        r_choices = {random_.assign(11, 0.110).supernode_host_id
+                     for _ in range(8)}
+        # The random policy explores; nearest always picks one host.
+        assert len(r_choices) > len(n_choices)

@@ -1,0 +1,174 @@
+"""Unit tests for receiver-driven encoding rate adaptation (Eqs. 7-11)."""
+
+import pytest
+
+from repro.core.adaptation import (
+    AdaptationParams,
+    Adjustment,
+    RateAdaptationController,
+)
+from repro.streaming.video import max_adjust_up_factor
+
+
+def make_controller(rho=1.0, theta=0.5, hysteresis=3, **kw):
+    return RateAdaptationController(
+        rho, AdaptationParams(theta=theta, hysteresis=hysteresis, **kw))
+
+
+class TestParams:
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptationParams(theta=0.0)
+        with pytest.raises(ValueError):
+            AdaptationParams(theta=1.5)
+
+    def test_theta_one_allowed(self):
+        AdaptationParams(theta=1.0)  # Eq. 11: θ ≤ 1
+
+    def test_hysteresis_positive(self):
+        with pytest.raises(ValueError):
+            AdaptationParams(hysteresis=0)
+        with pytest.raises(ValueError):
+            AdaptationParams(up_hysteresis=0)
+
+    def test_rho_bounds(self):
+        with pytest.raises(ValueError):
+            RateAdaptationController(0.0)
+        with pytest.raises(ValueError):
+            RateAdaptationController(1.5)
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            AdaptationParams(beta=-0.5)
+
+    def test_bad_cooldown(self):
+        with pytest.raises(ValueError):
+            AdaptationParams(miss_up_cooldown=-1)
+
+
+class TestThresholds:
+    def test_beta_defaults_to_eq10(self):
+        ctl = make_controller()
+        assert ctl.beta == pytest.approx(max_adjust_up_factor())
+
+    def test_up_threshold_formula(self):
+        """Eq. 9 with ρ scaling: r > (1 + β)/ρ."""
+        ctl = make_controller(rho=0.8)
+        assert ctl.up_threshold == pytest.approx((1 + ctl.beta) / 0.8)
+
+    def test_down_threshold_formula(self):
+        """Eq. 11 with ρ scaling: r < θ/ρ."""
+        ctl = make_controller(rho=0.8, theta=0.5)
+        assert ctl.down_threshold == pytest.approx(0.5 / 0.8)
+
+    def test_latency_sensitive_games_higher_thresholds(self):
+        """Lower ρ (latency-sensitive) -> higher thresholds (paper §III-B)."""
+        strict = make_controller(rho=0.6)
+        tolerant = make_controller(rho=1.0)
+        assert strict.up_threshold > tolerant.up_threshold
+        assert strict.down_threshold > tolerant.down_threshold
+
+    def test_beta_override(self):
+        ctl = make_controller(beta=0.25)
+        assert ctl.up_threshold == pytest.approx(1.25)
+
+
+class TestHysteresis:
+    def test_single_low_estimate_no_decision(self):
+        ctl = make_controller(hysteresis=3)
+        assert ctl.observe(0.1) is Adjustment.NONE
+        assert ctl.observe(0.1) is Adjustment.NONE
+
+    def test_three_consecutive_lows_adjust_down(self):
+        ctl = make_controller(hysteresis=3)
+        ctl.observe(0.1)
+        ctl.observe(0.1)
+        assert ctl.observe(0.1) is Adjustment.DOWN
+        assert ctl.adjustments_down == 1
+
+    def test_interrupted_streak_resets(self):
+        ctl = make_controller(hysteresis=3)
+        ctl.observe(0.1)
+        ctl.observe(0.1)
+        ctl.observe(1.0)  # normal zone
+        ctl.observe(0.1)
+        ctl.observe(0.1)
+        assert ctl.observe(0.1) is Adjustment.DOWN
+
+    def test_adjust_up_needs_up_hysteresis(self):
+        ctl = make_controller(hysteresis=3, up_hysteresis=5)
+        high = ctl.up_threshold + 1.0
+        for _ in range(4):
+            assert ctl.observe(high) is Adjustment.NONE
+        assert ctl.observe(high) is Adjustment.UP
+        assert ctl.adjustments_up == 1
+
+    def test_decision_resets_streak(self):
+        ctl = make_controller(hysteresis=2)
+        ctl.observe(0.1)
+        assert ctl.observe(0.1) is Adjustment.DOWN
+        assert ctl.observe(0.1) is Adjustment.NONE  # fresh streak needed
+        assert ctl.observe(0.1) is Adjustment.DOWN
+
+    def test_reset_clears_streaks(self):
+        ctl = make_controller(hysteresis=2)
+        ctl.observe(0.1)
+        ctl.reset()
+        assert ctl.observe(0.1) is Adjustment.NONE
+
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller().observe(-0.1)
+
+
+class TestDeadlineMissTrigger:
+    def test_miss_streak_forces_down(self):
+        """Misses trigger DOWN even with a healthy buffer."""
+        ctl = make_controller(hysteresis=3)
+        ctl.observe(1.0, deadline_missed=True)
+        ctl.observe(1.0, deadline_missed=True)
+        assert ctl.observe(1.0, deadline_missed=True) is Adjustment.DOWN
+
+    def test_miss_streak_resets_on_hit(self):
+        ctl = make_controller(hysteresis=3)
+        ctl.observe(1.0, deadline_missed=True)
+        ctl.observe(1.0, deadline_missed=True)
+        ctl.observe(1.0, deadline_missed=False)
+        ctl.observe(1.0, deadline_missed=True)
+        ctl.observe(1.0, deadline_missed=True)
+        assert ctl.observe(1.0, deadline_missed=True) is Adjustment.DOWN
+        assert ctl.adjustments_down == 1
+
+    def test_miss_blocks_up(self):
+        ctl = make_controller(up_hysteresis=2)
+        high = ctl.up_threshold + 1.0
+        ctl.observe(high, deadline_missed=True)
+        assert ctl.observe(high) is Adjustment.NONE  # cooldown active
+
+
+class TestProbeBackoff:
+    def test_failed_probe_long_cooldown(self):
+        params = AdaptationParams(
+            hysteresis=3, up_hysteresis=2, miss_up_cooldown=2,
+            probe_window=10, failed_probe_penalty=50)
+        ctl = RateAdaptationController(1.0, params)
+        high = ctl.up_threshold + 1.0
+        ctl.observe(high)
+        assert ctl.observe(high) is Adjustment.UP
+        # The probe fails: a miss right after.
+        ctl.observe(high, deadline_missed=True)
+        # Long penalty: many clean high estimates produce no UP.
+        decisions = [ctl.observe(high) for _ in range(40)]
+        assert Adjustment.UP not in decisions
+
+    def test_successful_probe_allows_next_up(self):
+        params = AdaptationParams(
+            hysteresis=3, up_hysteresis=2, probe_window=3,
+            failed_probe_penalty=50)
+        ctl = RateAdaptationController(1.0, params)
+        high = ctl.up_threshold + 1.0
+        ctl.observe(high)
+        assert ctl.observe(high) is Adjustment.UP
+        # Probe window passes without misses -> next UP unhindered.
+        decisions = [ctl.observe(high) for _ in range(4)]
+        assert Adjustment.UP in decisions

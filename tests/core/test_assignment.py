@@ -1,0 +1,175 @@
+"""Unit tests for the supernode assignment protocol (§III-A-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import (
+    AssignmentParams,
+    SupernodeAssignment,
+    assign_players,
+)
+from repro.network.latency import LatencyModel, LatencyParams
+
+
+def make_world(rng, n_players=20, n_sn=5, n_dc=2, same_metro=True):
+    """A small world: datacenters far away, supernodes near players."""
+    n = n_dc + n_sn + n_players
+    positions = np.zeros((n, 2))
+    metro_ids = np.zeros(n, dtype=int)
+    # Datacenters at (3000, 0): far.
+    for d in range(n_dc):
+        positions[d] = (3000.0 + 10 * d, 0.0)
+        metro_ids[d] = -(d + 1)
+    # Supernodes and players around the origin metro.
+    for i in range(n_dc, n):
+        positions[i] = (float(rng.uniform(0, 30)), float(rng.uniform(0, 30)))
+        metro_ids[i] = 0 if same_metro else i
+    params = LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0,
+                           access_median_s=0.008, access_sigma=0.3)
+    lat = LatencyModel(positions, rng, params, metro_ids=metro_ids)
+    dc_ids = np.arange(n_dc)
+    sn_ids = np.arange(n_dc, n_dc + n_sn)
+    player_ids = np.arange(n_dc + n_sn, n)
+    return lat, dc_ids, sn_ids, player_ids
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssignmentParams(n_candidates=0)
+        with pytest.raises(ValueError):
+            AssignmentParams(lmax_fraction=0.0)
+        with pytest.raises(ValueError):
+            AssignmentParams(n_backups=-1)
+
+
+class TestConstruction:
+    def test_misaligned_capacities(self, rng):
+        lat, dc, sn, _ = make_world(rng)
+        with pytest.raises(ValueError):
+            SupernodeAssignment(lat, sn, np.ones(2, dtype=int), dc)
+
+    def test_negative_capacity(self, rng):
+        lat, dc, sn, _ = make_world(rng)
+        with pytest.raises(ValueError):
+            SupernodeAssignment(lat, sn, -np.ones(sn.size, dtype=int), dc)
+
+    def test_needs_datacenter(self, rng):
+        lat, _, sn, _ = make_world(rng)
+        with pytest.raises(ValueError):
+            SupernodeAssignment(lat, sn, np.ones(sn.size, dtype=int),
+                                np.empty(0, dtype=int))
+
+
+class TestProtocol:
+    def test_nearby_supernode_chosen(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 10), dc)
+        res = service.assign(int(players[0]), 0.090)
+        assert res.uses_supernode
+        assert res.supernode_host_id in set(int(s) for s in sn)
+
+    def test_chooses_lowest_delay_candidate(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 10), dc)
+        player = int(players[0])
+        res = service.assign(player, 0.110)
+        delays = {int(s): lat.one_way_s(player, int(s)) for s in sn}
+        assert res.supernode_host_id == min(delays, key=delays.get)
+
+    def test_lmax_filter_rejects_far_supernodes(self, rng):
+        lat, dc, sn, players = make_world(rng, same_metro=False)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 10), dc)
+        # Requirement so strict no probe passes: falls back to cloud.
+        res = service.assign(int(players[0]), 0.00001)
+        assert not res.uses_supernode
+        assert res.datacenter_host_id in set(int(d) for d in dc)
+
+    def test_filter_disabled_accepts_far(self, rng):
+        lat, dc, sn, players = make_world(rng, same_metro=False)
+        service = SupernodeAssignment(
+            lat, sn, np.full(sn.size, 10), dc,
+            AssignmentParams(filter_by_lmax=False))
+        res = service.assign(int(players[0]), 0.00001)
+        assert res.uses_supernode
+
+    def test_fallback_nearest_datacenter(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.zeros(sn.size, dtype=int),
+                                      dc)
+        player = int(players[0])
+        res = service.assign(player, 0.090)
+        assert not res.uses_supernode
+        delays = {int(d): lat.one_way_s(player, int(d)) for d in dc}
+        assert res.datacenter_host_id == min(delays, key=delays.get)
+
+    def test_backups_recorded(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(
+            lat, sn, np.full(sn.size, 10), dc,
+            AssignmentParams(n_backups=2))
+        res = service.assign(int(players[0]), 0.110)
+        assert res.uses_supernode
+        assert len(res.backups) <= 2
+        assert res.supernode_host_id not in res.backups
+
+    def test_no_supernodes_at_all(self, rng):
+        lat, dc, _, players = make_world(rng, n_sn=0)
+        service = SupernodeAssignment(
+            lat, np.empty(0, dtype=int), np.empty(0, dtype=int), dc)
+        res = service.assign(int(players[0]), 0.090)
+        assert not res.uses_supernode
+
+
+class TestCapacity:
+    def test_capacity_consumed(self, rng):
+        lat, dc, sn, players = make_world(rng, n_sn=1, n_players=5)
+        service = SupernodeAssignment(lat, sn, np.array([2]), dc)
+        results = [service.assign(int(p), 0.110) for p in players[:3]]
+        assert sum(r.uses_supernode for r in results) == 2
+        assert service.available_slots(int(sn[0])) == 0
+
+    def test_release_frees_slot(self, rng):
+        lat, dc, sn, players = make_world(rng, n_sn=1, n_players=3)
+        service = SupernodeAssignment(lat, sn, np.array([1]), dc)
+        first = service.assign(int(players[0]), 0.110)
+        assert first.uses_supernode
+        blocked = service.assign(int(players[1]), 0.110)
+        assert not blocked.uses_supernode
+        service.release(int(players[0]))
+        third = service.assign(int(players[2]), 0.110)
+        assert third.uses_supernode
+
+    def test_release_unknown_noop(self, rng):
+        lat, dc, sn, _ = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 1), dc)
+        service.release(12345)  # must not raise
+
+    def test_supernodes_in_use(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 10), dc)
+        assert service.supernodes_in_use == 0
+        service.assign(int(players[0]), 0.110)
+        assert service.supernodes_in_use == 1
+
+    def test_overflow_goes_to_next_candidate(self, rng):
+        lat, dc, sn, players = make_world(rng, n_sn=3, n_players=10)
+        service = SupernodeAssignment(lat, sn, np.full(3, 2), dc)
+        results = [service.assign(int(p), 0.110) for p in players[:6]]
+        used = {r.supernode_host_id for r in results if r.uses_supernode}
+        assert len(used) == 3  # spilled over all three supernodes
+
+
+class TestBatch:
+    def test_assign_players_shape(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        results = assign_players(
+            lat, players, np.full(players.size, 0.09),
+            sn, np.full(sn.size, 10), dc)
+        assert len(results) == players.size
+
+    def test_misaligned_reqs_rejected(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        with pytest.raises(ValueError):
+            assign_players(lat, players, np.full(3, 0.09),
+                           sn, np.full(sn.size, 10), dc)

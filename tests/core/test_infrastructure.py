@@ -1,0 +1,170 @@
+"""Integration tests for system variants and the session simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.infrastructure import (
+    SessionConfig,
+    SystemVariant,
+    simulate_sessions,
+)
+
+
+class TestVariantFlags:
+    def test_fog_variants(self):
+        assert SystemVariant.CLOUDFOG_B.uses_fog
+        assert SystemVariant.CLOUDFOG_A.uses_fog
+        assert not SystemVariant.CLOUD.uses_fog
+        assert not SystemVariant.EDGECLOUD.uses_fog
+
+    def test_edge_only_edgecloud(self):
+        assert SystemVariant.EDGECLOUD.uses_edge_servers
+        assert not SystemVariant.CLOUDFOG_B.uses_edge_servers
+
+    def test_strategy_flags(self):
+        assert SystemVariant.CLOUDFOG_ADAPT.uses_adaptation
+        assert not SystemVariant.CLOUDFOG_ADAPT.uses_scheduling
+        assert SystemVariant.CLOUDFOG_SCHEDULE.uses_scheduling
+        assert not SystemVariant.CLOUDFOG_SCHEDULE.uses_adaptation
+        assert SystemVariant.CLOUDFOG_A.uses_adaptation
+        assert SystemVariant.CLOUDFOG_A.uses_scheduling
+        assert not SystemVariant.CLOUDFOG_B.uses_adaptation
+
+
+@pytest.fixture(scope="module")
+def session_inputs(request):
+    from repro.experiments.scenarios import peersim_scenario
+    scen = peersim_scenario(scale=0.03, seed=7)
+    pop = scen.build()
+    online = scen.online_sample(pop)
+    cfg = SessionConfig(duration_s=6.0, warmup_s=1.0)
+    return pop, online, cfg
+
+
+def run(pop, online, cfg, variant):
+    return simulate_sessions(pop, variant, online, cfg,
+                             edge_server_host_ids=pop.edge_server_host_ids)
+
+
+class TestSimulateSessions:
+    def test_all_players_reported(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_B)
+        assert res.n_players == online.size
+        assert {o.player_id for o in res.outcomes} == set(int(p) for p in online)
+
+    def test_players_receive_segments(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_B)
+        received = [o.segments_received for o in res.outcomes]
+        assert np.mean(np.array(received) > 0) > 0.9
+
+    def test_cloud_variant_everyone_on_cloud(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUD)
+        assert res.fraction_served_by("cloud") == 1.0
+        assert res.cloud_update_bytes == 0.0
+        assert res.cloud_stream_bytes > 0.0
+
+    def test_fog_serves_most_players(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_B)
+        assert res.fraction_served_by("supernode") > 0.5
+        assert res.cloud_update_bytes > 0.0
+
+    def test_edgecloud_uses_edges(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.EDGECLOUD)
+        assert res.fraction_served_by("edge") > 0.1
+
+    def test_continuity_in_unit_interval(self, session_inputs):
+        pop, online, cfg = session_inputs
+        for variant in (SystemVariant.CLOUD, SystemVariant.CLOUDFOG_A):
+            res = run(pop, online, cfg, variant)
+            for o in res.outcomes:
+                assert 0.0 <= o.continuity <= 1.0
+
+    def test_game_ids_valid(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_B)
+        assert all(1 <= o.game_id <= 5 for o in res.outcomes)
+
+    def test_quality_levels_respect_game_cap(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_A)
+        from repro.streaming.video import highest_level_for_latency
+        from repro.workload.games import game_for_level
+        for o in res.outcomes:
+            cap = highest_level_for_latency(
+                game_for_level(o.game_id).latency_req_s).level
+            assert 1 <= o.final_quality_level <= cap
+
+    def test_egress_accounting_consistent(self, session_inputs):
+        pop, online, cfg = session_inputs
+        res = run(pop, online, cfg, SystemVariant.CLOUDFOG_B)
+        assert res.cloud_egress_bytes == pytest.approx(
+            res.cloud_update_bytes + res.cloud_stream_bytes)
+        assert res.cloud_egress_bps == pytest.approx(
+            8.0 * res.cloud_egress_bytes / cfg.duration_s)
+
+    def test_deterministic_given_seed(self):
+        from repro.experiments.scenarios import peersim_scenario
+
+        def one_run():
+            scen = peersim_scenario(scale=0.02, seed=3)
+            pop = scen.build()
+            online = scen.online_sample(pop)
+            cfg = SessionConfig(duration_s=4.0, warmup_s=1.0)
+            res = run(pop, online, cfg, SystemVariant.CLOUDFOG_A)
+            return (res.mean_continuity, res.mean_latency_s,
+                    res.cloud_egress_bytes)
+
+        assert one_run() == one_run()
+
+
+class TestPaperOrderings:
+    """The headline comparative results (Figures 7-9) as assertions."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=0.1, seed=7)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        cfg = SessionConfig(duration_s=10.0, warmup_s=2.0)
+        return {
+            v: simulate_sessions(
+                pop, v, online, cfg,
+                edge_server_host_ids=pop.edge_server_host_ids)
+            for v in SystemVariant
+        }
+
+    def test_fig7_bandwidth_ordering(self, results):
+        """Cloud > EdgeCloud > CloudFog/B in cloud egress."""
+        assert (results[SystemVariant.CLOUD].cloud_egress_bps
+                > results[SystemVariant.EDGECLOUD].cloud_egress_bps
+                > results[SystemVariant.CLOUDFOG_B].cloud_egress_bps)
+
+    def test_fig8_latency_ordering(self, results):
+        """Cloud > EdgeCloud > CloudFog/B > CloudFog/A in latency."""
+        lat = {v: results[v].mean_latency_s for v in results}
+        assert lat[SystemVariant.CLOUD] > lat[SystemVariant.CLOUDFOG_B]
+        assert (lat[SystemVariant.EDGECLOUD]
+                > lat[SystemVariant.CLOUDFOG_B]
+                > lat[SystemVariant.CLOUDFOG_A])
+
+    def test_fig9_continuity_ordering(self, results):
+        """CloudFog/A >= CloudFog/B > EdgeCloud >= Cloud."""
+        cont = {v: results[v].mean_continuity for v in results}
+        assert (cont[SystemVariant.CLOUDFOG_A]
+                >= cont[SystemVariant.CLOUDFOG_B])
+        assert (cont[SystemVariant.CLOUDFOG_B]
+                > cont[SystemVariant.EDGECLOUD])
+        assert (cont[SystemVariant.EDGECLOUD]
+                >= cont[SystemVariant.CLOUD] - 0.02)
+
+    def test_fog_bandwidth_reduction_substantial(self, results):
+        """The headline claim: fog slashes cloud egress."""
+        cloud = results[SystemVariant.CLOUD].cloud_egress_bps
+        fog = results[SystemVariant.CLOUDFOG_B].cloud_egress_bps
+        assert fog < 0.5 * cloud

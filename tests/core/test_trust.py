@@ -1,0 +1,136 @@
+"""Unit tests for the supernode trust/reputation system."""
+
+import numpy as np
+import pytest
+
+from repro.core.trust import SupernodeRecord, TrustParams, TrustRegistry
+
+
+class TestTrustParams:
+    def test_defaults_valid(self):
+        TrustParams()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrustParams(prior_alpha=0.0)
+        with pytest.raises(ValueError):
+            TrustParams(eviction_threshold=1.0)
+        with pytest.raises(ValueError):
+            TrustParams(detection_rate=1.5)
+        with pytest.raises(ValueError):
+            TrustParams(tamper_report_weight=0.5)
+
+
+class TestReputation:
+    def test_prior_reputation(self):
+        params = TrustParams(prior_alpha=9.0, prior_beta=1.0)
+        record = SupernodeRecord(0)
+        assert record.reputation(params) == pytest.approx(0.9)
+
+    def test_clean_reports_raise_reputation(self):
+        params = TrustParams()
+        record = SupernodeRecord(0)
+        before = record.reputation(params)
+        record.clean_reports = 50
+        assert record.reputation(params) > before
+
+    def test_tamper_reports_weighted(self):
+        params = TrustParams(tamper_report_weight=5.0)
+        a = SupernodeRecord(0)
+        a.tamper_reports = 1
+        b = SupernodeRecord(1)
+        b.clean_reports = 0
+        b.tamper_reports = 0
+        # One weighted tamper report costs like five clean-equivalents.
+        light = TrustParams(tamper_report_weight=1.0)
+        assert a.reputation(params) < a.reputation(light)
+
+
+class TestRegistry:
+    def test_credential_required(self):
+        registry = TrustRegistry()
+        with pytest.raises(PermissionError):
+            registry.register(0, credentialed=False)
+
+    def test_register_and_query(self):
+        registry = TrustRegistry()
+        registry.register(3)
+        assert registry.is_active(3)
+        assert not registry.is_active(4)
+        assert registry.active_ids() == [3]
+
+    def test_eviction_on_bad_reputation(self):
+        registry = TrustRegistry()
+        registry.register(0)
+        evicted = False
+        for _ in range(50):
+            evicted = registry.report(0, tampered=True)
+            if evicted:
+                break
+        assert evicted
+        assert not registry.is_active(0)
+        assert registry.evictions == 1
+
+    def test_reports_after_eviction_ignored(self):
+        registry = TrustRegistry()
+        registry.register(0)
+        for _ in range(50):
+            registry.report(0, tampered=True)
+        assert registry.evictions == 1
+        assert registry.report(0, tampered=True) is False
+
+    def test_honest_node_survives_reporting(self):
+        registry = TrustRegistry()
+        registry.register(0)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            registry.observe_session(0, was_tampered=False, rng=rng)
+        assert registry.is_active(0)
+        assert registry.reputations()[0] > 0.9
+
+    def test_malicious_node_evicted_fast(self):
+        registry = TrustRegistry()
+        registry.register(0)
+        rng = np.random.default_rng(0)
+        sessions = 0
+        while registry.is_active(0) and sessions < 200:
+            registry.observe_session(0, was_tampered=True, rng=rng)
+            sessions += 1
+        assert not registry.is_active(0)
+        expected = registry.sessions_until_eviction(1.0)
+        assert sessions < expected * 4
+
+    def test_report_unknown_supernode(self):
+        assert TrustRegistry().report(99, tampered=True) is False
+
+
+class TestEvictionClosedForm:
+    def test_blatant_attacker_evicted_quickly(self):
+        k = TrustRegistry().sessions_until_eviction(1.0)
+        assert 1.0 <= k < 10.0
+
+    def test_stealthier_attacker_survives_longer(self):
+        reg = TrustRegistry()
+        assert (reg.sessions_until_eviction(0.3)
+                > reg.sessions_until_eviction(0.9))
+
+    def test_very_stealthy_never_evicted(self):
+        """A known limitation: attackers below the detectability floor
+        are never evicted in expectation."""
+        assert TrustRegistry().sessions_until_eviction(0.02) == float("inf")
+
+    def test_bad_tamper_rate(self):
+        with pytest.raises(ValueError):
+            TrustRegistry().sessions_until_eviction(0.0)
+
+    def test_closed_form_matches_simulation(self):
+        """Deterministic-report simulation agrees with the formula."""
+        params = TrustParams(detection_rate=1.0, false_report_rate=0.0)
+        registry = TrustRegistry(params)
+        registry.register(0)
+        sessions = 0
+        while registry.is_active(0):
+            registry.report(0, tampered=True)
+            sessions += 1
+        expected = registry.sessions_until_eviction(1.0)
+        assert sessions == pytest.approx(expected, abs=1.5)

@@ -1,0 +1,89 @@
+"""Unit tests for the supernode incentive model (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.incentives import (
+    IncentiveParams,
+    contribution_decisions,
+    participation_curve,
+    supernode_profit,
+)
+
+
+class TestIncentiveParams:
+    def test_defaults_provider_viable(self):
+        p = IncentiveParams()
+        assert p.saving_per_mbps > p.reward_per_mbps
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            IncentiveParams(reward_per_mbps=-1.0)
+
+
+class TestSupernodeProfit:
+    def test_eq1_scalar(self):
+        """P_s = c_s * c_j * u_j - cost_j."""
+        profit = supernode_profit(2.0, 10.0, 0.8, 5.0)
+        assert profit == pytest.approx(2.0 * 10.0 * 0.8 - 5.0)
+
+    def test_vectorized(self):
+        profit = supernode_profit(
+            1.0, np.array([10.0, 20.0]), np.array([1.0, 0.5]),
+            np.array([3.0, 3.0]))
+        assert np.allclose(profit, [7.0, 7.0])
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            supernode_profit(1.0, 10.0, 1.5, 0.0)
+        with pytest.raises(ValueError):
+            supernode_profit(1.0, 10.0, -0.1, 0.0)
+
+    def test_zero_utilization_pure_cost(self):
+        assert supernode_profit(5.0, 100.0, 0.0, 7.0) == -7.0
+
+
+class TestContributionDecisions:
+    def test_threshold_gates(self):
+        caps = np.array([10.0, 10.0])
+        util = np.array([1.0, 1.0])
+        cost = np.array([5.0, 5.0])
+        thresholds = np.array([1.0, 100.0])
+        mask = contribution_decisions(2.0, caps, util, cost, thresholds)
+        # profit = 15 for both; only the first threshold is beaten.
+        assert mask.tolist() == [True, False]
+
+    def test_zero_reward_nobody_contributes(self):
+        n = 50
+        rng = np.random.default_rng(0)
+        mask = contribution_decisions(
+            0.0, rng.uniform(1, 10, n), np.ones(n),
+            rng.uniform(1, 5, n), np.zeros(n))
+        assert not mask.any()
+
+
+class TestParticipationCurve:
+    def test_monotone_in_reward(self):
+        rng = np.random.default_rng(1)
+        n = 500
+        caps = rng.uniform(5, 50, n)
+        util = np.full(n, 0.8)
+        cost = rng.uniform(1, 10, n)
+        thresholds = rng.uniform(0, 5, n)
+        rewards = np.linspace(0, 3, 10)
+        frac = participation_curve(rewards, caps, util, cost, thresholds)
+        assert np.all(np.diff(frac) >= 0)
+        assert frac[0] == 0.0
+
+    def test_saturates_at_one(self):
+        n = 100
+        curve = participation_curve(
+            np.array([1000.0]), np.full(n, 10.0), np.ones(n),
+            np.ones(n), np.ones(n))
+        assert curve[0] == 1.0
+
+    def test_empty_population(self):
+        curve = participation_curve(
+            np.array([1.0]), np.empty(0), np.empty(0),
+            np.empty(0), np.empty(0))
+        assert curve[0] == 0.0

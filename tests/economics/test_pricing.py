@@ -1,0 +1,92 @@
+"""Tests for reward pricing (clearing and optimal rewards)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.pricing import SupplyMarket, clearing_reward, optimal_reward
+
+
+def make_market(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return SupplyMarket(
+        capacity_mbps=rng.uniform(5, 40, n),
+        expected_utilization=np.full(n, 0.8),
+        cost=rng.uniform(1, 5, n),
+        thresholds=rng.uniform(0, 2, n),
+    )
+
+
+class TestSupplyMarket:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            SupplyMarket(np.ones(3), np.ones(2), np.ones(3), np.ones(3))
+
+    def test_supply_monotone_in_reward(self):
+        market = make_market()
+        supplies = [market.supply_mbps(r) for r in (0.0, 0.5, 1.0, 5.0)]
+        assert supplies == sorted(supplies)
+
+    def test_zero_reward_zero_supply(self):
+        market = make_market()
+        assert market.supply_mbps(0.0) == 0.0
+
+    def test_max_supply(self):
+        market = make_market()
+        assert market.supply_mbps(1000.0) == pytest.approx(
+            market.max_supply_mbps)
+
+
+class TestClearingReward:
+    def test_supply_covers_demand_at_clearing(self):
+        market = make_market()
+        demand = 0.5 * market.max_supply_mbps
+        c_star = clearing_reward(market, demand)
+        assert market.supply_mbps(c_star) >= demand
+        # And just below, it does not (minimality).
+        assert market.supply_mbps(c_star - 0.01) < demand + 1e-6 or \
+            c_star < 0.02
+
+    def test_zero_demand_free(self):
+        assert clearing_reward(make_market(), 0.0) == 0.0
+
+    def test_impossible_demand_raises(self):
+        market = make_market()
+        with pytest.raises(ValueError, match="max supply"):
+            clearing_reward(market, market.max_supply_mbps * 2)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            clearing_reward(make_market(), -1.0)
+
+    def test_higher_demand_higher_reward(self):
+        market = make_market()
+        lo = clearing_reward(market, 0.2 * market.max_supply_mbps)
+        hi = clearing_reward(market, 0.9 * market.max_supply_mbps)
+        assert hi >= lo
+
+
+class TestOptimalReward:
+    def test_optimal_near_clearing(self):
+        """C_g declines linearly past the clearing point, so the optimum
+        sits at (or just above) it."""
+        market = make_market()
+        demand = 0.5 * market.max_supply_mbps
+        c_clear = clearing_reward(market, demand)
+        c_opt, c_g = optimal_reward(market, demand, saving_per_mbps=6.0)
+        assert c_g > 0
+        assert c_opt <= c_clear + 0.5
+
+    def test_no_profitable_reward(self):
+        """When rewards cost more than savings, the provider abstains."""
+        market = make_market()
+        c_opt, c_g = optimal_reward(
+            market, 10.0, saving_per_mbps=1e-9)
+        assert c_g == 0.0
+
+    def test_overhead_reduces_savings(self):
+        market = make_market()
+        demand = 0.5 * market.max_supply_mbps
+        _, cg_clean = optimal_reward(market, demand, 6.0)
+        _, cg_overhead = optimal_reward(
+            market, demand, 6.0, update_overhead_mbps=demand * 0.2)
+        assert cg_overhead < cg_clean

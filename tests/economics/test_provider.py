@@ -1,0 +1,136 @@
+"""Unit tests for provider economics (Eqs. 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.provider import (
+    EC2_PRICE_PER_GB,
+    ProviderModel,
+    bandwidth_reduction_bps,
+    deployment_gain,
+    provider_saved_cost,
+    supernode_contribution_bps,
+)
+
+
+class TestEq2BandwidthReduction:
+    def test_formula(self):
+        """B_r = n*R - Λ*m."""
+        assert bandwidth_reduction_bps(100, 1e6, 1e4, 10) == pytest.approx(
+            100 * 1e6 - 1e4 * 10)
+
+    def test_no_supernodes_no_reduction(self):
+        assert bandwidth_reduction_bps(0, 1e6, 1e4, 0) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_reduction_bps(-1, 1e6, 1e4, 0)
+
+    def test_update_overhead_can_dominate(self):
+        """Too many supernodes for too few players loses bandwidth."""
+        assert bandwidth_reduction_bps(1, 1e6, 1e6, 5) < 0
+
+
+class TestEq4Eq5Constraints:
+    def test_contribution_sum(self):
+        b_s = supernode_contribution_bps(
+            np.array([1e6, 2e6]), np.array([0.5, 1.0]))
+        assert b_s == pytest.approx(2.5e6)
+
+    def test_eq5_utilization_cap(self):
+        with pytest.raises(ValueError):
+            supernode_contribution_bps(np.array([1e6]), np.array([1.2]))
+
+    def test_eq4_support_constraint_enforced(self):
+        """Contribution must cover supported players' streaming demand."""
+        with pytest.raises(ValueError):
+            provider_saved_cost(
+                saving_per_bps=1.0, reward_per_bps=0.1,
+                n_supported=100, streaming_rate_bps=1e6,
+                update_rate_bps=1e4,
+                capacity_bps=np.array([1e6]), utilization=np.array([1.0]))
+
+    def test_eq4_can_be_waived(self):
+        cost = provider_saved_cost(
+            1.0, 0.1, 100, 1e6, 1e4,
+            np.array([1e6]), np.array([1.0]), enforce_support=False)
+        assert isinstance(cost, float)
+
+
+class TestEq3SavedCost:
+    def test_formula(self):
+        """C_g = c_c*(n*R - Λ*m) - c_s*B_s."""
+        caps = np.array([50e6, 70e6])
+        util = np.array([1.0, 1.0])
+        c_g = provider_saved_cost(
+            saving_per_bps=2.0, reward_per_bps=0.5,
+            n_supported=100, streaming_rate_bps=1e6, update_rate_bps=1e4,
+            capacity_bps=caps, utilization=util)
+        b_r = 100 * 1e6 - 1e4 * 2
+        b_s = 120e6
+        assert c_g == pytest.approx(2.0 * b_r - 0.5 * b_s)
+
+    def test_fewer_supernodes_higher_saving(self):
+        """Paper: for fixed n, saved cost grows as m shrinks."""
+        demand_bps = 100 * 1e6
+
+        def cost_with_m(m):
+            caps = np.full(m, demand_bps / m)
+            return provider_saved_cost(
+                2.0, 0.5, 100, 1e6, 1e4, caps, np.ones(m))
+
+        assert cost_with_m(5) > cost_with_m(50)
+
+
+class TestEq6DeploymentGain:
+    def test_formula(self):
+        """G_s = c_c*(ν*R - Λ) - c_s*c_j*u_j."""
+        g = deployment_gain(2.0, 0.5, 10, 1e6, 1e4, 20e6, 0.8)
+        assert g == pytest.approx(2.0 * (10 * 1e6 - 1e4) - 0.5 * 20e6 * 0.8)
+
+    def test_worthless_supernode_negative(self):
+        g = deployment_gain(1.0, 1.0, 0, 1e6, 1e4, 20e6, 1.0)
+        assert g < 0
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            deployment_gain(1.0, 1.0, 5, 1e6, 1e4, 1e6, 1.5)
+
+
+class TestProviderModel:
+    def make_model(self):
+        return ProviderModel(
+            saving_per_bps=2.0, reward_per_bps=0.5,
+            streaming_rate_bps=1e6, update_rate_bps=1e4)
+
+    def test_greedy_deploys_positive_gains_only(self):
+        model = self.make_model()
+        caps = np.array([1e6, 1e6, 1e9])  # last one too expensive
+        nu = np.array([10.0, 5.0, 1.0])
+        deployed = model.greedy_deployment(caps, nu, utilization=1.0)
+        assert 2 not in deployed
+        assert set(deployed) == {0, 1}
+
+    def test_greedy_descending_gain_order(self):
+        model = self.make_model()
+        caps = np.array([1e6, 1e6])
+        nu = np.array([5.0, 10.0])
+        deployed = model.greedy_deployment(caps, nu, 1.0)
+        assert deployed.tolist() == [1, 0]
+
+    def test_nothing_deployable(self):
+        model = self.make_model()
+        deployed = model.greedy_deployment(
+            np.array([1e9]), np.array([0.0]), 1.0)
+        assert deployed.size == 0
+
+    def test_monthly_bill_matches_paper_example(self):
+        """Paper §I: 27 TB per 12 h ≈ $130k/month at $0.085/GB."""
+        model = self.make_model()
+        tb_per_12h = 27e12
+        avg_bps = 8.0 * tb_per_12h / (12 * 3600)
+        bill = model.monthly_bandwidth_bill_usd(avg_bps)
+        assert bill == pytest.approx(137_700, rel=0.08)
+
+    def test_ec2_price_constant(self):
+        assert EC2_PRICE_PER_GB == 0.085

@@ -1,0 +1,47 @@
+"""Tests for the Figure 7 bandwidth experiment driver."""
+
+import pytest
+
+from repro.core.infrastructure import SystemVariant
+from repro.experiments.bandwidth import bandwidth_vs_players
+from repro.experiments.scenarios import peersim_scenario
+
+
+@pytest.fixture(scope="module")
+def series():
+    scen = peersim_scenario(scale=0.05, seed=4)
+    return bandwidth_vs_players(scen, player_counts=(30, 60, 90))
+
+
+class TestFig7:
+    def test_three_series(self, series):
+        labels = [s.label for s in series]
+        assert labels == ["Cloud", "EdgeCloud", "CloudFog/B"]
+
+    def test_paper_ordering_cloud_edge_fog(self, series):
+        """Cloud > EdgeCloud > CloudFog/B at every player count."""
+        cloud, edge, fog = series
+        for k in range(3):
+            assert cloud.y[k] > edge.y[k] > fog.y[k]
+
+    def test_bandwidth_grows_with_players(self, series):
+        for s in series:
+            assert s.y == sorted(s.y)
+
+    def test_cloud_is_n_times_r(self, series):
+        """Cloud egress = sum of player bitrates: slope ~ 0.3-1.8 Mbps
+        per player."""
+        cloud = series[0]
+        per_player = cloud.y[-1] / cloud.x[-1]
+        assert 0.3 <= per_player <= 1.8
+
+    def test_fog_increase_rate_smallest(self, series):
+        """Paper: CloudFog's egress grows slowest in player count."""
+        cloud, edge, fog = series
+        slope = lambda s: (s.y[-1] - s.y[0]) / (s.x[-1] - s.x[0])
+        assert slope(fog) < slope(cloud)
+        assert slope(fog) < slope(edge)
+
+    def test_fog_saves_majority_of_bandwidth(self, series):
+        cloud, _, fog = series
+        assert fog.y[-1] < 0.5 * cloud.y[-1]

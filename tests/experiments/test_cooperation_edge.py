@@ -1,0 +1,46 @@
+"""Edge cases for the cooperation and churn microcosms."""
+
+import pytest
+
+from repro.experiments.cooperation import (
+    CooperationConfig,
+    simulate_cooperation,
+)
+from repro.experiments.churn import ChurnConfig, simulate_churn
+
+
+class TestCooperationEdges:
+    def test_single_supernode_neighbourhood(self):
+        """With one supernode there is nobody to cooperate with; the
+        run must still complete."""
+        cfg = CooperationConfig(n_supernodes=1, duration_s=10.0,
+                                warmup_s=2.0)
+        out = simulate_cooperation(4, 1.0, True, seed=0, config=cfg)
+        assert 0.0 <= out["satisfied"] <= 1.0
+        assert out["offloads"] == 0
+
+    def test_zero_hot_fraction(self):
+        cfg = CooperationConfig(duration_s=10.0, warmup_s=2.0)
+        out = simulate_cooperation(6, 0.0, True, seed=0, config=cfg)
+        assert out["satisfied"] == 1.0
+
+    def test_one_player(self):
+        cfg = CooperationConfig(duration_s=8.0, warmup_s=2.0)
+        out = simulate_cooperation(1, 1.0, False, seed=0, config=cfg)
+        assert out["satisfied"] == 1.0
+
+
+class TestChurnEdges:
+    def test_single_supernode_never_departs(self):
+        """The churn process refuses to kill the last supernode."""
+        cfg = ChurnConfig(n_supernodes=1, duration_s=15.0, warmup_s=2.0)
+        out = simulate_churn(60.0, True, seed=0, config=cfg)
+        assert out["departures"] == 0
+        assert out["continuity"] > 0.95
+
+    def test_zero_players_per_supernode_invalid_shape_ok(self):
+        """Tiny neighbourhood, one player each: still runs."""
+        cfg = ChurnConfig(n_supernodes=2, players_per_supernode=1,
+                          duration_s=10.0, warmup_s=2.0)
+        out = simulate_churn(4.0, True, seed=0, config=cfg)
+        assert 0.0 <= out["continuity"] <= 1.0

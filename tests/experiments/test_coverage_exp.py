@@ -1,0 +1,71 @@
+"""Tests for the Figure 5/6 coverage experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.coverage import (
+    coverage_vs_datacenters,
+    coverage_vs_supernodes,
+)
+from repro.experiments.scenarios import peersim_scenario
+
+
+@pytest.fixture(scope="module")
+def scen():
+    return peersim_scenario(scale=0.04, seed=9)
+
+
+class TestFig5a:
+    @pytest.fixture(scope="class")
+    def series(self, request):
+        return coverage_vs_datacenters(
+            peersim_scenario(scale=0.04, seed=9),
+            dc_counts=(5, 15, 25),
+            latency_reqs_s=(0.030, 0.070, 0.110))
+
+    def test_one_series_per_requirement(self, series):
+        assert len(series) == 3
+        assert series[0].label == "req=30ms"
+
+    def test_x_values_are_dc_counts(self, series):
+        for s in series:
+            assert s.x == [5.0, 15.0, 25.0]
+
+    def test_coverage_in_unit_interval(self, series):
+        for s in series:
+            assert all(0.0 <= y <= 1.0 for y in s.y)
+
+    def test_more_datacenters_no_worse(self, series):
+        """Coverage is non-decreasing in datacenter count (monotone up
+        to sampling noise of independent topologies)."""
+        for s in series:
+            assert s.y[-1] >= s.y[0] - 0.06
+
+    def test_stricter_requirement_lower_coverage(self, series):
+        strict, mid, lax = series
+        for k in range(len(strict.x)):
+            assert strict.y[k] <= mid.y[k] <= lax.y[k]
+
+    def test_invalid_dc_count(self, scen):
+        with pytest.raises(ValueError):
+            coverage_vs_datacenters(scen, dc_counts=(0,))
+
+
+class TestFig5b:
+    @pytest.fixture(scope="class")
+    def series(self, request):
+        return coverage_vs_supernodes(
+            peersim_scenario(scale=0.04, seed=9),
+            sn_counts=(0, 12, 24),
+            latency_reqs_s=(0.030, 0.110))
+
+    def test_supernodes_increase_coverage(self, series):
+        for s in series:
+            assert s.y[-1] >= s.y[0]
+
+    def test_zero_supernodes_is_dc_baseline(self, series):
+        strict, lax = series
+        assert 0.0 <= strict.y[0] <= lax.y[0] <= 1.0
+
+    def test_labels(self, series):
+        assert [s.label for s in series] == ["req=30ms", "req=110ms"]

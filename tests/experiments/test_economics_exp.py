@@ -1,0 +1,60 @@
+"""Tests for the economics experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.economics_exp import (
+    MEAN_STREAM_RATE_BPS,
+    deployment_frontier,
+    incentive_sweep,
+)
+from repro.experiments.scenarios import peersim_scenario
+
+
+@pytest.fixture(scope="module")
+def scen():
+    return peersim_scenario(scale=0.05, seed=13)
+
+
+class TestIncentiveSweep:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return incentive_sweep(peersim_scenario(scale=0.05, seed=13),
+                               rewards=tuple(np.linspace(0, 4, 6)))
+
+    def test_two_series(self, curves):
+        participation, saved = curves
+        assert participation.label == "participation"
+        assert saved.label == "provider saved cost"
+
+    def test_participation_monotone(self, curves):
+        participation, _ = curves
+        assert all(b >= a - 1e-12
+                   for a, b in zip(participation.y, participation.y[1:]))
+
+    def test_no_reward_no_participation(self, curves):
+        participation, _ = curves
+        assert participation.y[0] == 0.0
+
+    def test_saved_cost_finite(self, curves):
+        _, saved = curves
+        assert all(np.isfinite(saved.y))
+
+    def test_mean_rate_is_ladder_mean(self):
+        assert MEAN_STREAM_RATE_BPS == pytest.approx(920_000.0)
+
+
+class TestDeploymentFrontier:
+    def test_frontier_starts_at_zero(self, scen):
+        frontier = deployment_frontier(scen)
+        assert frontier.x[0] == 0.0
+        assert frontier.y[0] == 0.0
+
+    def test_cumulative_gain_nondecreasing(self, scen):
+        """Greedy deploys positive-gain candidates in descending order,
+        so the cumulative curve rises and is concave-ish."""
+        frontier = deployment_frontier(scen)
+        gains = np.diff(frontier.y)
+        assert np.all(gains > 0)
+        # descending marginal gains
+        assert all(b <= a + 1e-9 for a, b in zip(gains, gains[1:]))

@@ -1,0 +1,81 @@
+"""Tests for the experiment runner and CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestRunner:
+    def test_all_figures_registered(self):
+        expected = {"fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
+                    "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11",
+                    "economics", "churn", "cooperation", "gameworld",
+                    "security", "dynamic"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_gameworld_runs_tiny(self):
+        series = run_experiment("gameworld", scale=0.05, seed=1)
+        labels = [s.label for s in series]
+        assert "kd-tree (median splits)" in labels
+        assert any(l.startswith("AOI=") for l in labels)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_fig5a_runs_tiny(self):
+        series = run_experiment("fig5a", scale=0.01, seed=1)
+        assert len(series) == 5  # one per latency requirement
+        for s in series:
+            assert len(s.x) == len(s.y) > 0
+
+    def test_economics_runs_tiny(self):
+        series = run_experiment("economics", scale=0.02, seed=1)
+        assert len(series) == 3
+
+
+class TestCli:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5a", "--scale", "0.2", "--seed", "7"])
+        assert args.experiment == "fig5a"
+        assert args.scale == 0.2
+        assert args.seed == 7
+
+    def test_ladder_command(self, capsys):
+        assert main(["ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "1800kbps" in out
+        assert "110 ms" in out
+
+    def test_experiment_prints_series(self, capsys):
+        assert main(["fig5a", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "req=30ms" in out
+        assert "fig5a" in out
+
+    def test_json_output(self, capsys):
+        assert main(["fig5a", "--scale", "0.01", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[:out.rfind("}") + 1])
+        assert "fig5a" in payload
+        assert payload["fig5a"][0]["label"] == "req=30ms"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figXX"])
+
+    def test_plot_output(self, capsys):
+        assert main(["fig5a", "--scale", "0.01", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "user coverage" in out
+        assert "o = req=30ms" in out
+        assert "|" in out  # chart canvas
+
+    def test_extensions_runnable_from_cli(self, capsys):
+        assert main(["security", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "with reputation + eviction" in out

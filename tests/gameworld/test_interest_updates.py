@@ -1,0 +1,113 @@
+"""Unit tests for AOI filtering and update-message encoding."""
+
+import numpy as np
+import pytest
+
+from repro.gameworld.avatar import AVATAR_DELTA_BYTES, AVATAR_STATE_BYTES
+from repro.gameworld.interest import AreaOfInterest
+from repro.gameworld.updates import (
+    UPDATE_HEADER_BYTES,
+    UpdateEncoder,
+    UpdateMessage,
+)
+from repro.gameworld.world import World
+
+
+@pytest.fixture
+def world(rng):
+    w = World(rng, n_avatars=20)
+    return w
+
+
+class TestAreaOfInterest:
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            AreaOfInterest(radius=0.0)
+
+    def test_excludes_self(self, world):
+        aoi = AreaOfInterest(radius=1e6)
+        visible = aoi.visible_to(world, 0)
+        assert 0 not in visible
+        assert visible.size == 19
+
+    def test_radius_filters(self, world):
+        # Put avatar 1 next to 0 and avatar 2 far away.
+        world.avatars[1].position = world.avatars[0].position + 1.0
+        world.avatars[2].position = world.avatars[0].position + 900.0
+        aoi = AreaOfInterest(radius=10.0)
+        visible = set(aoi.visible_to(world, 0).tolist())
+        assert 1 in visible
+        assert 2 not in visible
+
+    def test_matrix_matches_scalar(self, world):
+        aoi = AreaOfInterest(radius=150.0)
+        observers = np.array([0, 3, 7])
+        matrix = aoi.visible_matrix(world, observers)
+        ids = np.array(sorted(world.avatars))
+        for row, obs in enumerate(observers):
+            expected = set(aoi.visible_to(world, int(obs)).tolist())
+            got = set(ids[matrix[row]].tolist())
+            assert got == expected
+
+    def test_interest_set_includes_own_changes(self, world):
+        aoi = AreaOfInterest(radius=5.0)
+        out = aoi.interest_set(world, np.array([0]), dirty={0})
+        assert 0 in out[0]
+
+    def test_interest_set_filters_dirty(self, world):
+        world.avatars[1].position = world.avatars[0].position + 1.0
+        aoi = AreaOfInterest(radius=10.0)
+        out = aoi.interest_set(world, np.array([0]), dirty={1, 15})
+        assert 1 in out[0]
+        assert 15 not in out[0]
+
+
+class TestUpdateMessage:
+    def test_wire_bytes(self):
+        msg = UpdateMessage(0, 1, n_full_states=3, n_deltas=5)
+        assert msg.wire_bytes == (UPDATE_HEADER_BYTES
+                                  + 3 * AVATAR_STATE_BYTES
+                                  + 5 * AVATAR_DELTA_BYTES)
+
+    def test_empty_message(self):
+        msg = UpdateMessage(0, 1, 0, 0)
+        assert msg.wire_bytes == UPDATE_HEADER_BYTES
+
+
+class TestUpdateEncoder:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            UpdateEncoder(AreaOfInterest(10.0), full_state_fraction=1.5)
+
+    def test_one_message_per_supernode(self, world, rng):
+        enc = UpdateEncoder(AreaOfInterest(100.0))
+        dirty = world.step([])
+        msgs = enc.encode_tick(world, dirty,
+                               {0: [0, 1], 1: [2, 3], 2: []})
+        assert len(msgs) == 3
+        assert {m.supernode_id for m in msgs} == {0, 1, 2}
+
+    def test_empty_supernode_header_only(self, world):
+        enc = UpdateEncoder(AreaOfInterest(100.0))
+        msgs = enc.encode_tick(world, {0, 1}, {9: []})
+        assert msgs[0].wire_bytes == UPDATE_HEADER_BYTES
+
+    def test_mean_update_bytes_positive(self, world, rng):
+        enc = UpdateEncoder(AreaOfInterest(100.0))
+        lam = enc.mean_update_bytes(world, rng, {0: list(range(10))},
+                                    n_ticks=10)
+        assert lam > UPDATE_HEADER_BYTES
+
+    def test_lambda_matches_paper_constant(self, rng):
+        """The measured Λ must be the same order as the 2 KB constant
+        the main experiments assume (DESIGN.md derivation)."""
+        from repro.core.cloud import UPDATE_MESSAGE_BYTES
+        from repro.experiments.gameworld_exp import measured_lambda_bytes
+        lam = measured_lambda_bytes()
+        assert 0.5 * UPDATE_MESSAGE_BYTES < lam < 2.5 * UPDATE_MESSAGE_BYTES
+
+    def test_larger_aoi_bigger_updates(self, rng):
+        from repro.experiments.gameworld_exp import measured_lambda_bytes
+        small = measured_lambda_bytes(aoi_radius=30.0)
+        large = measured_lambda_bytes(aoi_radius=300.0)
+        assert large > small

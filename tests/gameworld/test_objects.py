@@ -1,0 +1,140 @@
+"""Unit tests for world objects and their update-message integration."""
+
+import numpy as np
+import pytest
+
+from repro.gameworld.actions import Action, ActionKind
+from repro.gameworld.interest import AreaOfInterest
+from repro.gameworld.objects import (
+    OBJECT_STATE_BYTES,
+    ObjectKind,
+    ObjectLayer,
+    ObjectState,
+    WorldObject,
+)
+from repro.gameworld.updates import UpdateEncoder, UpdateMessage
+from repro.gameworld.world import World
+
+
+@pytest.fixture
+def layer(rng):
+    return ObjectLayer(rng, n_objects=20, map_size=1000.0)
+
+
+class TestWorldObject:
+    def test_available_by_default(self):
+        obj = WorldObject(0, ObjectKind.CHEST, np.zeros(2))
+        assert obj.available
+
+    def test_bad_position(self):
+        with pytest.raises(ValueError):
+            WorldObject(0, ObjectKind.CHEST, np.zeros(3))
+
+    def test_dirty_tracking(self):
+        obj = WorldObject(0, ObjectKind.DOOR, np.zeros(2))
+        obj.mark_dirty(4)
+        assert obj.is_dirty(4)
+        assert not obj.is_dirty(5)
+
+
+class TestObjectLayer:
+    def test_counts_and_positions(self, layer):
+        assert layer.n_objects == 20
+        assert layer.positions().shape == (20, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ObjectLayer(rng, -1, 100.0)
+        with pytest.raises(ValueError):
+            ObjectLayer(rng, 5, 100.0, interact_range=0.0)
+
+    def test_interact_consumes_nearest(self, layer):
+        target = layer.objects[0]
+        near = target.position + np.array([1.0, 0.0])
+        obj = layer.interact(near, tick=1)
+        assert obj is not None
+        assert not obj.available
+        assert layer.interactions == 1
+
+    def test_interact_out_of_range_fails(self, rng):
+        layer = ObjectLayer(rng, 1, 1000.0, interact_range=5.0)
+        far = layer.objects[0].position + np.array([500.0, 0.0])
+        assert layer.interact(far, tick=1) is None
+        assert layer.failed_interactions == 1
+
+    def test_consumed_object_not_reusable(self, layer):
+        pos = layer.objects[0].position
+        first = layer.interact(pos, tick=1)
+        second = layer.interact(first.position, tick=2)
+        assert second is None or second.object_id != first.object_id
+
+    def test_respawn(self, rng):
+        layer = ObjectLayer(rng, 1, 100.0, respawn_ticks=10)
+        obj = layer.interact(layer.objects[0].position, tick=0)
+        assert obj is not None
+        layer.step(5)
+        assert not obj.available
+        dirty = layer.step(10)
+        assert obj.available
+        assert obj.object_id in dirty
+
+    def test_empty_layer(self, rng):
+        layer = ObjectLayer(rng, 0, 100.0)
+        assert layer.interact(np.zeros(2), tick=0) is None
+
+
+class TestWorldIntegration:
+    def test_interact_action_consumes_object(self, rng):
+        world = World(rng, n_avatars=1, n_objects=30)
+        avatar = world.avatars[0]
+        # Teleport an object next to the avatar for determinism.
+        world.objects.objects[0].position = avatar.position + 1.0
+        dirty = world.step([Action(0, ActionKind.INTERACT, target_id=0)])
+        assert world.objects.interactions == 1
+        assert 0 in dirty
+        assert world.dirty_objects
+
+    def test_interact_without_objects_noop(self, rng):
+        world = World(rng, n_avatars=1, n_objects=0)
+        dirty = world.step([Action(0, ActionKind.INTERACT, target_id=0)])
+        assert 0 not in dirty
+
+    def test_objects_respawn_through_world_ticks(self, rng):
+        world = World(rng, n_avatars=1, n_objects=5)
+        avatar = world.avatars[0]
+        world.objects.objects[0].position = avatar.position + 1.0
+        world.step([Action(0, ActionKind.INTERACT, target_id=0)])
+        consumed = [o for o in world.objects.objects.values()
+                    if not o.available]
+        assert consumed
+        for _ in range(world.objects.respawn_ticks + 1):
+            world.step([])
+        assert all(o.available for o in world.objects.objects.values())
+
+
+class TestUpdateIntegration:
+    def test_message_carries_object_bytes(self):
+        msg = UpdateMessage(0, 1, n_full_states=0, n_deltas=0, n_objects=3)
+        base = UpdateMessage(0, 1, 0, 0, 0)
+        assert msg.wire_bytes - base.wire_bytes == 3 * OBJECT_STATE_BYTES
+
+    def test_dirty_object_in_aoi_counted(self, rng):
+        world = World(rng, n_avatars=2, n_objects=10)
+        avatar = world.avatars[0]
+        world.objects.objects[0].position = avatar.position + 1.0
+        world.step([Action(0, ActionKind.INTERACT, target_id=0)])
+        enc = UpdateEncoder(AreaOfInterest(50.0))
+        msgs = enc.encode_tick(world, {0}, {0: [0]})
+        assert msgs[0].n_objects >= 1
+
+    def test_far_dirty_object_not_counted(self, rng):
+        world = World(rng, n_avatars=2, n_objects=10)
+        avatar = world.avatars[0]
+        far_obj = world.objects.objects[0]
+        far_obj.position = np.clip(avatar.position + 900.0, 0, 1000)
+        far_obj.state = ObjectState.CONSUMED
+        far_obj.respawn_tick = world.tick + 1
+        world.step([])  # respawn marks it dirty
+        enc = UpdateEncoder(AreaOfInterest(10.0))
+        msgs = enc.encode_tick(world, set(), {0: [0]})
+        assert msgs[0].n_objects == 0

@@ -1,0 +1,122 @@
+"""Unit tests for kd-tree partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.gameworld.partition import (
+    KdTreePartitioner,
+    Region,
+    uniform_grid_assignment,
+)
+
+
+class TestRegion:
+    def test_contains(self):
+        r = Region(0, 0, 10, 10)
+        assert r.contains((5, 5))
+        assert r.contains((0, 10))
+        assert not r.contains((11, 5))
+
+    def test_area(self):
+        assert Region(0, 0, 4, 5).area == 20.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(5, 0, 0, 10)
+
+
+class TestKdTree:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            KdTreePartitioner(3)
+        KdTreePartitioner(1)
+        KdTreePartitioner(8)
+
+    def test_single_region(self, rng):
+        kd = KdTreePartitioner(1)
+        pos = rng.uniform(0, 100, (50, 2))
+        assignment = kd.partition(pos, 100.0)
+        assert np.all(assignment == 0)
+        assert len(kd.regions) == 1
+
+    def test_assignment_shape_and_range(self, rng):
+        kd = KdTreePartitioner(8)
+        pos = rng.uniform(0, 100, (200, 2))
+        assignment = kd.partition(pos, 100.0)
+        assert assignment.shape == (200,)
+        assert assignment.min() >= 0
+        assert assignment.max() < 8
+
+    def test_balanced_on_uniform(self, rng):
+        kd = KdTreePartitioner(16)
+        pos = rng.uniform(0, 1000, (1600, 2))
+        assignment = kd.partition(pos, 1000.0)
+        assert kd.imbalance(assignment) < 1.3
+
+    def test_balanced_on_clustered(self, rng):
+        """The Bezerra & Geyer claim: median splits stay balanced even
+        when avatars crowd one spot."""
+        kd = KdTreePartitioner(16)
+        hot = rng.normal(100, 10, (900, 2))
+        cold = rng.uniform(0, 1000, (100, 2))
+        pos = np.clip(np.vstack([hot, cold]), 0, 1000)
+        assignment = kd.partition(pos, 1000.0)
+        assert kd.imbalance(assignment) < 1.5
+
+    def test_grid_unbalanced_on_clustered(self, rng):
+        hot = rng.normal(100, 10, (900, 2))
+        cold = rng.uniform(0, 1000, (100, 2))
+        pos = np.clip(np.vstack([hot, cold]), 0, 1000)
+        assignment = uniform_grid_assignment(pos, 1000.0, 16)
+        loads = np.bincount(assignment, minlength=16)
+        assert loads.max() / loads.mean() > 3.0
+
+    def test_regions_tile_the_map(self, rng):
+        kd = KdTreePartitioner(8)
+        pos = rng.uniform(0, 500, (100, 2))
+        kd.partition(pos, 500.0)
+        total_area = sum(r.area for r in kd.regions)
+        assert total_area == pytest.approx(500.0 * 500.0)
+
+    def test_locate_agrees_with_assignment(self, rng):
+        kd = KdTreePartitioner(8)
+        pos = rng.uniform(0, 100, (60, 2))
+        assignment = kd.partition(pos, 100.0)
+        for i in range(60):
+            located = kd.locate(pos[i])
+            # Boundary points may fall in an adjacent region; at least
+            # the located region must contain the point.
+            assert located is not None
+            assert kd.regions[located].contains(pos[i])
+
+    def test_locate_outside_none(self, rng):
+        kd = KdTreePartitioner(4)
+        kd.partition(rng.uniform(0, 10, (20, 2)), 10.0)
+        assert kd.locate((999.0, 999.0)) is None
+
+    def test_empty_positions(self, rng):
+        kd = KdTreePartitioner(4)
+        assignment = kd.partition(np.empty((0, 2)), 100.0)
+        assert assignment.size == 0
+        assert len(kd.regions) == 4
+
+    def test_bad_positions(self, rng):
+        with pytest.raises(ValueError):
+            KdTreePartitioner(4).partition(np.zeros((5, 3)), 10.0)
+
+
+class TestUniformGrid:
+    def test_square_required(self, rng):
+        with pytest.raises(ValueError):
+            uniform_grid_assignment(np.zeros((5, 2)), 10.0, 8)
+
+    def test_corner_cells(self):
+        pos = np.array([[0.0, 0.0], [9.99, 9.99]])
+        assignment = uniform_grid_assignment(pos, 10.0, 4)
+        assert assignment[0] == 0
+        assert assignment[1] == 3
+
+    def test_boundary_clamped(self):
+        pos = np.array([[10.0, 10.0]])
+        assignment = uniform_grid_assignment(pos, 10.0, 4)
+        assert assignment[0] == 3

@@ -1,0 +1,172 @@
+"""Unit tests for the virtual world."""
+
+import numpy as np
+import pytest
+
+from repro.gameworld.actions import Action, ActionKind
+from repro.gameworld.avatar import Avatar
+from repro.gameworld.world import World, WorldParams
+
+
+@pytest.fixture
+def world(rng):
+    return World(rng, n_avatars=10)
+
+
+class TestAvatar:
+    def test_defaults(self):
+        a = Avatar(0)
+        assert a.alive
+        assert a.health == 100.0
+
+    def test_bad_vectors(self):
+        with pytest.raises(ValueError):
+            Avatar(0, position=np.zeros(3))
+
+    def test_dirty_tracking(self):
+        a = Avatar(0)
+        assert not a.is_dirty(5)
+        a.mark_dirty(5)
+        assert a.is_dirty(5)
+        assert not a.is_dirty(6)
+
+
+class TestWorldBasics:
+    def test_avatar_count(self, world):
+        assert world.n_avatars == 10
+        assert world.positions().shape == (10, 2)
+
+    def test_positions_on_map(self, world):
+        pos = world.positions()
+        assert np.all(pos >= 0)
+        assert np.all(pos <= world.params.map_size)
+
+    def test_negative_avatars_rejected(self, rng):
+        with pytest.raises(ValueError):
+            World(rng, n_avatars=-1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            WorldParams(map_size=0.0)
+
+    def test_empty_world_steps(self, rng):
+        w = World(rng, n_avatars=0)
+        assert w.step([]) == set()
+
+
+class TestMovement:
+    def test_move_action_sets_course(self, world):
+        start = world.avatars[0].position.copy()
+        target = (start[0] + 100.0, start[1])
+        dirty = world.step([Action(0, ActionKind.MOVE,
+                                   target_position=tuple(target))])
+        assert 0 in dirty
+        moved = world.avatars[0].position
+        assert moved[0] > start[0]
+        # One tick covers speed x tick distance.
+        step = world.params.move_speed * world.params.tick_s
+        assert np.hypot(*(moved - start)) == pytest.approx(step)
+
+    def test_movement_continues_without_new_actions(self, world):
+        start = world.avatars[0].position.copy()
+        world.step([Action(0, ActionKind.MOVE,
+                           target_position=(start[0] + 100, start[1]))])
+        dirty = world.step([])
+        assert 0 in dirty
+
+    def test_arrival_stops(self, world):
+        start = world.avatars[0].position.copy()
+        near = (float(start[0]) + 0.1, float(start[1]))
+        world.step([Action(0, ActionKind.MOVE, target_position=near)])
+        assert np.allclose(world.avatars[0].position, near)
+        dirty = world.step([])
+        assert 0 not in dirty  # journey over
+
+    def test_stop_action(self, world):
+        start = world.avatars[0].position.copy()
+        world.step([Action(0, ActionKind.MOVE,
+                           target_position=(start[0] + 100, start[1]))])
+        world.step([Action(0, ActionKind.STOP)])
+        pos = world.avatars[0].position.copy()
+        world.step([])
+        assert np.allclose(world.avatars[0].position, pos)
+
+    def test_target_clamped_to_map(self, world):
+        world.step([Action(0, ActionKind.MOVE,
+                           target_position=(-500.0, 99999.0))])
+        for _ in range(100_000 // 60):
+            world.step([])
+        pos = world.avatars[0].position
+        assert 0 <= pos[0] <= world.params.map_size
+        assert 0 <= pos[1] <= world.params.map_size
+
+
+class TestCombat:
+    def _adjacent_pair(self, world):
+        a, b = world.avatars[0], world.avatars[1]
+        b.position = a.position + np.array([1.0, 0.0])
+        return a, b
+
+    def test_strike_in_range_lands(self, world):
+        a, b = self._adjacent_pair(world)
+        dirty = world.step([Action(0, ActionKind.STRIKE, target_id=1)])
+        assert b.health == pytest.approx(
+            100.0 - world.params.strike_damage, abs=0.5)
+        assert 1 in dirty
+        assert world.strikes_landed == 1
+
+    def test_strike_out_of_range_misses(self, world):
+        a, b = world.avatars[0], world.avatars[1]
+        b.position = a.position + np.array([500.0, 0.0])
+        world.step([Action(0, ActionKind.STRIKE, target_id=1)])
+        assert b.health == 100.0
+        assert world.strikes_missed == 1
+
+    def test_health_floors_at_zero(self, world):
+        a, b = self._adjacent_pair(world)
+        for _ in range(30):
+            world.step([Action(0, ActionKind.STRIKE, target_id=1)])
+        assert b.health == 0.0
+        assert not b.alive
+
+    def test_dead_avatar_ignores_actions(self, world):
+        a, b = self._adjacent_pair(world)
+        b.health = 0.0
+        dirty = world.step([Action(1, ActionKind.MOVE,
+                                   target_position=(0.0, 0.0))])
+        assert 1 not in dirty
+
+    def test_regeneration(self, world):
+        a = world.avatars[0]
+        a.health = 50.0
+        for _ in range(20):  # 2 seconds at 10 Hz
+            world.step([])
+        assert a.health == pytest.approx(52.0, abs=0.2)
+
+
+class TestActionValidation:
+    def test_move_needs_target(self):
+        with pytest.raises(ValueError):
+            Action(0, ActionKind.MOVE)
+
+    def test_strike_needs_victim(self):
+        with pytest.raises(ValueError):
+            Action(0, ActionKind.STRIKE)
+
+    def test_wire_bytes(self):
+        assert Action(0, ActionKind.IDLE).wire_bytes == 8
+        assert Action(0, ActionKind.MOVE,
+                      target_position=(1, 1)).wire_bytes == 16
+
+
+class TestRunTicks:
+    def test_dirty_sets_returned(self, rng):
+        world = World(rng, n_avatars=20)
+        out = world.run_ticks(rng, n_ticks=10)
+        assert len(out) == 10
+        assert any(len(d) > 0 for d in out)
+
+    def test_tick_counter(self, rng):
+        world = World(rng, n_avatars=5)
+        world.run_ticks(rng, n_ticks=7)
+        assert world.tick == 7

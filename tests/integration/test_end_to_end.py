@@ -1,0 +1,114 @@
+"""End-to-end integration tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core.infrastructure import (
+    SessionConfig,
+    SystemVariant,
+    simulate_sessions,
+)
+from repro.experiments.scenarios import planetlab_scenario
+
+
+class TestPlanetLabEndToEnd:
+    """The paper's second testbed, end to end through the DES."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scen = planetlab_scenario(scale=0.6, seed=17)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        cfg = SessionConfig(duration_s=10.0, warmup_s=2.0)
+        return {
+            v: simulate_sessions(
+                pop, v, online, cfg,
+                edge_server_host_ids=pop.edge_server_host_ids)
+            for v in (SystemVariant.CLOUD, SystemVariant.EDGECLOUD,
+                      SystemVariant.CLOUDFOG_B, SystemVariant.CLOUDFOG_A)
+        }
+
+    def test_fog_latency_advantage(self, results):
+        assert (results[SystemVariant.CLOUDFOG_A].mean_latency_s
+                < results[SystemVariant.CLOUD].mean_latency_s)
+
+    def test_fog_continuity_advantage(self, results):
+        assert (results[SystemVariant.CLOUDFOG_B].mean_continuity
+                > results[SystemVariant.CLOUD].mean_continuity)
+
+    def test_bandwidth_ordering(self, results):
+        assert (results[SystemVariant.CLOUD].cloud_egress_bps
+                > results[SystemVariant.CLOUDFOG_B].cloud_egress_bps)
+
+    def test_university_networks_deliver_high_continuity(self, results):
+        """PlanetLab access is good: fog continuity approaches 1."""
+        assert results[SystemVariant.CLOUDFOG_A].mean_continuity > 0.8
+
+
+class TestTrustAssignmentIntegration:
+    """Evicted supernodes must vanish from assignment."""
+
+    def test_eviction_removes_candidates(self, rng):
+        from repro.core.assignment import SupernodeAssignment
+        from repro.core.trust import TrustRegistry
+        from repro.network.latency import LatencyModel, LatencyParams
+
+        positions = np.array(
+            [[3000.0, 0.0]] + [[float(i), 0.0] for i in range(1, 4)]
+            + [[1.0, 1.0]])
+        lat = LatencyModel(
+            positions, rng,
+            LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0),
+            metro_ids=np.array([-1, 0, 0, 0, 0]))
+        trust = TrustRegistry()
+        for sid in (1, 2, 3):
+            trust.register(sid)
+        service = SupernodeAssignment(
+            lat, np.array([1, 2, 3]), np.full(3, 5), np.array([0]),
+            trust=trust)
+
+        first = service.assign(4, 0.110)
+        assert first.uses_supernode
+        chosen = first.supernode_host_id
+        # Players report the serving supernode until eviction.
+        for _ in range(50):
+            trust.report(chosen, tampered=True)
+        assert not trust.is_active(chosen)
+        second = service.assign(4, 0.110)
+        assert second.uses_supernode
+        assert second.supernode_host_id != chosen
+
+    def test_all_evicted_falls_back_to_cloud(self, rng):
+        from repro.core.assignment import SupernodeAssignment
+        from repro.core.trust import TrustRegistry
+        from repro.network.latency import LatencyModel, LatencyParams
+
+        positions = np.array([[100.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        lat = LatencyModel(
+            positions, rng,
+            LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0))
+        trust = TrustRegistry()
+        trust.register(1)
+        for _ in range(50):
+            trust.report(1, tampered=True)
+        service = SupernodeAssignment(
+            lat, np.array([1]), np.array([5]), np.array([0]), trust=trust)
+        res = service.assign(2, 0.110)
+        assert not res.uses_supernode
+
+
+class TestScaleInvariance:
+    """Key shapes must survive a change of scale (no magic-number
+    dependence on one population size)."""
+
+    @pytest.mark.parametrize("scale", [0.03, 0.08])
+    def test_fog_beats_cloud_at_any_scale(self, scale):
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=scale, seed=23)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        cfg = SessionConfig(duration_s=8.0, warmup_s=2.0)
+        cloud = simulate_sessions(pop, SystemVariant.CLOUD, online, cfg)
+        fog = simulate_sessions(pop, SystemVariant.CLOUDFOG_B, online, cfg)
+        assert fog.mean_continuity > cloud.mean_continuity
+        assert fog.cloud_egress_bps < cloud.cloud_egress_bps

@@ -1,0 +1,117 @@
+"""Failure-injection tests: the system must degrade, not crash."""
+
+import numpy as np
+import pytest
+
+from repro.core.infrastructure import (
+    SessionConfig,
+    SystemVariant,
+    simulate_sessions,
+)
+from repro.core.server import StreamingServer
+from repro.sim.engine import Environment
+from repro.streaming.encoder import SegmentEncoder
+
+
+class TestMidSessionDetach:
+    def test_player_leaves_mid_transmission(self, env):
+        """Detaching while segments are queued must not crash the
+        sender loop, and queued segments for the leaver are discarded."""
+        server = StreamingServer(env, 0, 1e6)  # slow: queue builds
+        delivered = []
+        enc1 = SegmentEncoder(1, 0.110, 0.2)
+        enc2 = SegmentEncoder(2, 0.110, 0.2)
+        server.attach_player(1, enc1, lambda s, t: delivered.append(1),
+                             0.01)
+        server.attach_player(2, enc2, lambda s, t: delivered.append(2),
+                             0.01)
+
+        def scenario(env):
+            for _ in range(5):
+                server.render_and_send(1, env.now)
+                server.render_and_send(2, env.now)
+                yield env.timeout(0.01)
+            server.detach_player(1)
+            yield env.timeout(5.0)
+
+        env.process(scenario(env))
+        env.run(until=10.0)
+        assert 2 in delivered
+        # Player 1 may have received early segments but none after detach.
+        assert delivered.count(1) <= 5
+
+    def test_render_after_detach_is_noop(self, env):
+        server = StreamingServer(env, 0, 1e6)
+        enc = SegmentEncoder(1, 0.110, 0.2)
+        server.attach_player(1, enc, lambda s, t: None, 0.01)
+        server.detach_player(1)
+        server.render_and_send(1, 0.0)
+        env.run(until=1.0)
+        assert server.segments_sent == 0
+
+
+class TestDegenerateConfigurations:
+    def test_zero_supernodes_system_still_works(self):
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=0.02, seed=5).with_(n_supernodes=0)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        res = simulate_sessions(
+            pop, SystemVariant.CLOUDFOG_B, online,
+            SessionConfig(duration_s=4.0, warmup_s=1.0))
+        assert res.fraction_served_by("cloud") == 1.0
+        assert res.n_players == online.size
+
+    def test_single_online_player(self):
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=0.02, seed=5)
+        pop = scen.build()
+        res = simulate_sessions(
+            pop, SystemVariant.CLOUDFOG_A, np.array([0]),
+            SessionConfig(duration_s=4.0, warmup_s=1.0))
+        assert res.n_players == 1
+
+    def test_empty_online_set(self):
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=0.02, seed=5)
+        pop = scen.build()
+        res = simulate_sessions(
+            pop, SystemVariant.CLOUD, np.array([], dtype=int),
+            SessionConfig(duration_s=2.0))
+        assert res.n_players == 0
+        assert res.mean_continuity == 1.0
+
+    def test_edgecloud_without_edge_servers(self):
+        """EdgeCloud with no deployed edge servers degrades to Cloud."""
+        from repro.experiments.scenarios import peersim_scenario
+        scen = peersim_scenario(scale=0.02, seed=5).with_(
+            n_edge_servers=0)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        res = simulate_sessions(
+            pop, SystemVariant.EDGECLOUD, online,
+            SessionConfig(duration_s=4.0, warmup_s=1.0),
+            edge_server_host_ids=pop.edge_server_host_ids)
+        assert res.fraction_served_by("edge") == 0.0
+        assert res.fraction_served_by("cloud") == 1.0
+
+
+class TestProcessCrashIsolation:
+    def test_one_crashing_process_fails_loudly(self, env):
+        """Uncaught process errors surface instead of corrupting state."""
+        def bad(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("injected")
+
+        def good(env):
+            yield env.timeout(5.0)
+            return "ok"
+
+        env.process(bad(env))
+        g = env.process(good(env))
+        with pytest.raises(RuntimeError, match="injected"):
+            env.run()
+        # The kernel stopped at the failure; the good process is intact
+        # and resumable.
+        env.run()
+        assert g.value == "ok"

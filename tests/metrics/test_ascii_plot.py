@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.ascii_plot import GLYPHS, print_chart, render
+from repro.metrics.series import FigureSeries
+
+
+def make_series(label="s", points=((0, 0), (1, 1), (2, 4))):
+    s = FigureSeries(label=label, x_label="x", y_label="y")
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestRender:
+    def test_empty_input(self):
+        assert render([]) == "(no data)"
+
+    def test_canvas_too_small(self):
+        with pytest.raises(ValueError):
+            render([make_series()], width=5, height=2)
+
+    def test_contains_glyphs_and_labels(self):
+        text = render([make_series("coverage")])
+        assert GLYPHS[0] in text
+        assert "coverage" in text
+        assert "x" in text and "y" in text
+
+    def test_two_series_two_glyphs(self):
+        a = make_series("a", ((0, 0), (1, 1)))
+        b = make_series("b", ((0, 1), (1, 0)))
+        text = render([a, b])
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_extremes_on_border_rows(self):
+        s = make_series(points=((0, 0), (10, 100)))
+        lines = render([s], height=8).splitlines()
+        data_lines = [l for l in lines if "|" in l]
+        assert GLYPHS[0] in data_lines[0]      # max at top
+        assert GLYPHS[0] in data_lines[-1]     # min at bottom
+
+    def test_flat_series_renders(self):
+        s = make_series(points=((0, 5), (1, 5), (2, 5)))
+        text = render([s])
+        assert GLYPHS[0] in text
+
+    def test_single_point(self):
+        s = make_series(points=((3, 7),))
+        assert GLYPHS[0] in render([s])
+
+    def test_fixed_y_range(self):
+        s = make_series(points=((0, 0.2), (1, 0.8)))
+        text = render([s], y_min=0.0, y_max=1.0)
+        assert "1" in text.splitlines()[1]
+
+    def test_overlap_marked(self):
+        a = make_series("a", ((0, 0), (1, 1)))
+        b = make_series("b", ((0, 0), (1, 1)))
+        text = render([a, b])
+        assert "?" in text
+
+    def test_print_chart(self, capsys):
+        out = print_chart([make_series()], title="demo")
+        captured = capsys.readouterr().out
+        assert "== demo ==" in captured
+        assert out in captured

@@ -1,0 +1,109 @@
+"""Calibration tests: the latency model must reproduce the measurements
+the paper builds on (DESIGN.md §2).
+
+These are the load-bearing assumptions behind Figures 5, 6, 8 and 9 —
+if one of these breaks, the figure shapes silently drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import peersim_scenario
+from repro.metrics.coverage import datacenter_coverage
+
+
+@pytest.fixture(scope="module")
+def pop5dc():
+    return peersim_scenario(scale=0.3, seed=11).build()
+
+
+def coverage(pop, n_dc, req):
+    players = pop.player_host_ids()
+    return datacenter_coverage(
+        pop.latency, players, pop.datacenter_ids[:n_dc], req)
+
+
+class TestChoyCalibration:
+    """Choy et al. (NetGames 2012): with ~13 datacenters, ≤80 ms latency
+    reaches fewer than ~70 % of US users."""
+
+    def test_13_dc_80ms_under_75_percent(self):
+        pop = peersim_scenario(scale=0.3, seed=11).with_(
+            n_datacenters=13, n_supernodes=0, n_edge_servers=0).build()
+        cov = coverage(pop, 13, 0.080)
+        assert cov < 0.75
+
+    def test_13_dc_80ms_over_40_percent(self):
+        pop = peersim_scenario(scale=0.3, seed=11).with_(
+            n_datacenters=13, n_supernodes=0, n_edge_servers=0).build()
+        cov = coverage(pop, 13, 0.080)
+        assert cov > 0.40
+
+
+class TestCoverageShape:
+    def test_stricter_requirement_lower_coverage(self, pop5dc):
+        covs = [coverage(pop5dc, 5, req)
+                for req in (0.030, 0.050, 0.080, 0.110)]
+        assert covs == sorted(covs)
+
+    def test_strict_requirement_coverage_low(self, pop5dc):
+        assert coverage(pop5dc, 5, 0.030) < 0.25
+
+    def test_tolerant_requirement_coverage_moderate(self, pop5dc):
+        cov = coverage(pop5dc, 5, 0.110)
+        assert 0.5 < cov < 0.9
+
+    def test_coverage_plateaus_with_datacenters(self):
+        """Adding datacenters past ~10 buys little (the paper's point)."""
+        scen = peersim_scenario(scale=0.3, seed=11)
+        cov5 = coverage(scen.with_(n_datacenters=5, n_supernodes=0,
+                                   n_edge_servers=0).build(), 5, 0.080)
+        cov25 = coverage(scen.with_(n_datacenters=25, n_supernodes=0,
+                                    n_edge_servers=0).build(), 25, 0.080)
+        gain = cov25 - cov5
+        assert 0.0 <= gain < 0.20
+
+
+class TestSupernodeProximity:
+    def test_supernodes_beat_datacenters_at_strict_reqs(self, pop5dc):
+        players = pop5dc.player_host_ids()
+        dc_cov = datacenter_coverage(
+            pop5dc.latency, players, pop5dc.datacenter_ids, 0.030)
+        sn_cov = datacenter_coverage(
+            pop5dc.latency, players, pop5dc.supernode_host_ids, 0.030)
+        assert sn_cov > dc_cov
+
+    def test_same_metro_supernode_rtt_small(self, pop5dc):
+        """A same-metro supernode must be reachable well under 30 ms RTT
+        for the median player — the fog premise."""
+        lat = pop5dc.latency
+        metro = pop5dc.topology.metro_id_array()
+        rtts = []
+        for sn in pop5dc.supernode_host_ids[:40]:
+            mates = np.where(metro == metro[int(sn)])[0]
+            mates = [m for m in mates if m != int(sn)][:3]
+            rtts.extend(lat.rtt_s(int(sn), int(m)) for m in mates)
+        assert float(np.median(rtts)) < 0.030
+
+
+class TestThroughputCalibration:
+    def test_cross_country_path_struggles_with_top_quality(self, pop5dc):
+        """A remote-cloud path should often fail to sustain 1800 kbps —
+        the reason Cloud's continuity is poor (paper §I: OnLive
+        recommends a 5 Mbit/s downlink)."""
+        lat = pop5dc.latency
+        players = pop5dc.player_host_ids()[:300]
+        rates = np.array([
+            lat.path_throughput_bps(int(p), int(pop5dc.datacenter_ids[0]))
+            for p in players
+        ])
+        assert np.mean(rates < 5e6) > 0.3
+
+    def test_same_metro_path_comfortable(self, pop5dc):
+        lat = pop5dc.latency
+        metro = pop5dc.topology.metro_id_array()
+        sn = int(pop5dc.supernode_host_ids[0])
+        mates = [int(m) for m in np.where(metro == metro[sn])[0]
+                 if int(m) != sn][:10]
+        rates = [lat.path_throughput_bps(sn, m) for m in mates]
+        assert float(np.median(rates)) > 5e6

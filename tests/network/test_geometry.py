@@ -1,0 +1,94 @@
+"""Unit tests for planar geometry."""
+
+import numpy as np
+import pytest
+
+from repro.network.geometry import (
+    PLANE_HEIGHT_KM,
+    PLANE_WIDTH_KM,
+    Point,
+    clip_to_plane,
+    distance_km,
+    pairwise_distances_km,
+    points_to_array,
+)
+
+
+class TestPoint:
+    def test_distance_to_self_zero(self):
+        p = Point(100.0, 200.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_pythagorean(self):
+        assert distance_km(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        a, b = Point(10, 20), Point(-5, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_as_array(self):
+        assert np.array_equal(Point(1, 2).as_array(), [1.0, 2.0])
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x_km = 5
+
+
+class TestPairwiseDistances:
+    def test_shape(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((5, 2))
+        assert pairwise_distances_km(a, b).shape == (3, 5)
+
+    def test_values_match_scalar(self, rng):
+        a = rng.uniform(0, 1000, size=(4, 2))
+        b = rng.uniform(0, 1000, size=(6, 2))
+        mat = pairwise_distances_km(a, b)
+        for i in range(4):
+            for j in range(6):
+                expected = float(np.hypot(*(a[i] - b[j])))
+                assert mat[i, j] == pytest.approx(expected)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_distances_km(np.zeros((3, 3)), np.zeros((2, 2)))
+
+    def test_empty_inputs(self):
+        out = pairwise_distances_km(np.empty((0, 2)), np.zeros((4, 2)))
+        assert out.shape == (0, 4)
+
+    def test_nonnegative(self, rng):
+        a = rng.uniform(-100, 100, size=(10, 2))
+        assert np.all(pairwise_distances_km(a, a) >= 0)
+
+    def test_diagonal_zero(self, rng):
+        a = rng.uniform(0, 500, size=(8, 2))
+        assert np.allclose(np.diag(pairwise_distances_km(a, a)), 0.0)
+
+
+class TestClipAndStack:
+    def test_clip_inside_unchanged(self):
+        xy = np.array([[100.0, 100.0]])
+        assert np.array_equal(clip_to_plane(xy), xy)
+
+    def test_clip_outside(self):
+        xy = np.array([[-10.0, PLANE_HEIGHT_KM + 50.0]])
+        out = clip_to_plane(xy)
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == PLANE_HEIGHT_KM
+
+    def test_clip_does_not_mutate(self):
+        xy = np.array([[-10.0, 0.0]])
+        clip_to_plane(xy)
+        assert xy[0, 0] == -10.0
+
+    def test_points_to_array(self):
+        pts = [Point(1, 2), Point(3, 4)]
+        assert points_to_array(pts).shape == (2, 2)
+
+    def test_points_to_array_empty(self):
+        assert points_to_array([]).shape == (0, 2)
+
+    def test_plane_dimensions_sane(self):
+        # Continental-US scale: wider than tall.
+        assert PLANE_WIDTH_KM > PLANE_HEIGHT_KM > 1000

@@ -1,0 +1,191 @@
+"""Unit tests for the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.network.latency import FIBRE_KM_PER_S, LatencyModel, LatencyParams
+
+
+def make_model(rng, n=20, params=None, metro_ids=None):
+    positions = rng.uniform(0, 3000, size=(n, 2))
+    return LatencyModel(positions, rng, params, metro_ids=metro_ids)
+
+
+class TestLatencyParams:
+    def test_defaults_valid(self):
+        LatencyParams()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyParams(access_median_s=-1.0)
+
+    def test_inflation_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyParams(route_inflation=0.9)
+
+    def test_poor_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyParams(poor_fraction=1.5)
+
+
+class TestScalarLatency:
+    def test_self_latency_zero(self, rng):
+        model = make_model(rng)
+        assert model.one_way_s(3, 3) == 0.0
+
+    def test_symmetric(self, rng):
+        model = make_model(rng)
+        assert model.one_way_s(1, 7) == pytest.approx(model.one_way_s(7, 1))
+
+    def test_stable_across_calls(self, rng):
+        model = make_model(rng)
+        assert model.one_way_s(2, 9) == model.one_way_s(2, 9)
+
+    def test_rtt_is_twice_one_way(self, rng):
+        model = make_model(rng)
+        assert model.rtt_s(0, 5) == pytest.approx(2 * model.one_way_s(0, 5))
+
+    def test_propagation_proportional_to_distance(self, rng):
+        positions = np.array([[0.0, 0.0], [1000.0, 0.0], [2000.0, 0.0]])
+        model = LatencyModel(positions, rng)
+        assert model.propagation_s(0, 2) == pytest.approx(
+            2 * model.propagation_s(0, 1))
+
+    def test_propagation_value(self, rng):
+        positions = np.array([[0.0, 0.0], [2000.0, 0.0]])
+        params = LatencyParams(route_inflation=2.0)
+        model = LatencyModel(positions, rng, params)
+        assert model.propagation_s(0, 1) == pytest.approx(
+            2.0 * 2000.0 / FIBRE_KM_PER_S)
+
+    def test_latency_exceeds_propagation(self, rng):
+        model = make_model(rng)
+        assert model.one_way_s(0, 1) > model.propagation_s(0, 1)
+
+    def test_zero_jitter_params(self, rng):
+        params = LatencyParams(jitter_scale_s=0.0)
+        model = make_model(rng, params=params)
+        expected = (model._access_pair_s(0, 1) + model.propagation_s(0, 1))
+        assert model.one_way_s(0, 1) == pytest.approx(expected)
+
+
+class TestMetroLocality:
+    def test_same_metro_discount(self, rng):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 1.0]])
+        metro_ids = np.array([1, 1, 2])
+        params = LatencyParams(jitter_scale_s=0.0, local_access_factor=0.3)
+        model = LatencyModel(positions, rng, params, metro_ids=metro_ids)
+        same = model.one_way_s(0, 1)
+        cross = model.one_way_s(0, 2)
+        # Nearly identical distances; the metro discount dominates.
+        assert same < cross
+
+    def test_no_metro_ids_means_no_discount(self, rng):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        params = LatencyParams(jitter_scale_s=0.0)
+        model = LatencyModel(positions, rng, params)
+        full = (model.access_s[0] + model.access_s[1]
+                + model.propagation_s(0, 1))
+        assert model.one_way_s(0, 1) == pytest.approx(full)
+
+    def test_metro_ids_must_align(self, rng):
+        with pytest.raises(ValueError):
+            LatencyModel(np.zeros((3, 2)), rng, metro_ids=np.array([1, 2]))
+
+
+class TestAccessOverride:
+    def test_override_changes_latency(self, rng):
+        model = make_model(rng)
+        before = model.one_way_s(0, 1)
+        model.override_access(np.array([0]), 0.0001)
+        after = model.one_way_s(0, 1)
+        assert after < before
+
+    def test_override_vector(self, rng):
+        model = make_model(rng)
+        model.override_access(np.array([2, 3]), np.array([0.001, 0.002]))
+        assert model.access_s[2] == 0.001
+        assert model.access_s[3] == 0.002
+
+
+class TestMatrixApi:
+    def test_matrix_shape(self, rng):
+        model = make_model(rng, n=10)
+        mat = model.one_way_matrix_s(np.arange(4), np.arange(4, 10))
+        assert mat.shape == (4, 6)
+
+    def test_diagonal_zero_when_same_host(self, rng):
+        model = make_model(rng, n=6)
+        mat = model.one_way_matrix_s(np.arange(6), np.arange(6))
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_matrix_close_to_scalar(self, rng):
+        """Matrix form uses expected jitter; must be within jitter scale."""
+        params = LatencyParams(jitter_scale_s=0.001)
+        model = make_model(rng, n=8, params=params)
+        mat = model.one_way_matrix_s(np.arange(8), np.arange(8))
+        for i in range(8):
+            for j in range(8):
+                if i == j:
+                    continue
+                assert mat[i, j] == pytest.approx(
+                    model.one_way_s(i, j), abs=0.02)
+
+    def test_matrix_respects_metro_discount(self, rng):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [5.0, 2.0]])
+        metro_ids = np.array([1, 1, 2])
+        params = LatencyParams(jitter_scale_s=0.0)
+        model = LatencyModel(positions, rng, params, metro_ids=metro_ids)
+        mat = model.one_way_matrix_s(np.array([0]), np.array([1, 2]))
+        assert mat[0, 0] < mat[0, 1]
+
+    def test_rtt_matrix_doubles(self, rng):
+        model = make_model(rng, n=5)
+        one = model.one_way_matrix_s(np.arange(2), np.arange(2, 5))
+        rtt = model.rtt_matrix_s(np.arange(2), np.arange(2, 5))
+        assert np.allclose(rtt, 2 * one)
+
+    def test_empty_sources(self, rng):
+        model = make_model(rng, n=5)
+        assert model.one_way_matrix_s(
+            np.array([], dtype=int), np.arange(5)).shape == (0, 5)
+
+
+class TestThroughput:
+    def test_shorter_path_faster(self, rng):
+        positions = np.array([[0.0, 0.0], [50.0, 0.0], [3000.0, 0.0]])
+        model = LatencyModel(positions, rng,
+                             LatencyParams(jitter_scale_s=0.0))
+        assert (model.path_throughput_bps(0, 1)
+                > model.path_throughput_bps(0, 2))
+
+    def test_window_formula(self, rng):
+        model = make_model(rng)
+        rate = model.path_throughput_bps(0, 1)
+        rtt = model.rtt_s(0, 1)
+        assert rate == pytest.approx(
+            8.0 * model.params.tcp_window_bytes / rtt)
+
+    def test_self_path_infinite(self, rng):
+        model = make_model(rng)
+        assert model.path_throughput_bps(4, 4) == float("inf")
+
+
+class TestAccessDistribution:
+    def test_bimodal_fractions(self, rng):
+        params = LatencyParams(poor_fraction=0.4)
+        model = make_model(rng, n=4000, params=params)
+        # Threshold between the modes: 30 ms separates 12 ms from 55 ms.
+        poor = np.mean(model.access_s > 0.030)
+        assert 0.25 < poor < 0.55
+
+    def test_no_poor_mode(self, rng):
+        params = LatencyParams(poor_fraction=0.0)
+        model = make_model(rng, n=2000, params=params)
+        median = float(np.median(model.access_s))
+        assert median == pytest.approx(params.access_median_s, rel=0.2)
+
+    def test_zero_access(self, rng):
+        params = LatencyParams(access_median_s=0.0, jitter_scale_s=0.0)
+        model = make_model(rng, params=params)
+        assert np.all(model.access_s == 0.0)

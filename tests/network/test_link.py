@@ -1,0 +1,137 @@
+"""Unit tests for links, uplink ports and the downlink meter."""
+
+import pytest
+
+from repro.network.link import DownlinkMeter, Link, UplinkPort
+
+
+class TestLink:
+    def test_positive_rate_required(self, env):
+        with pytest.raises(ValueError):
+            Link(env, rate_bps=0, propagation_s=0.01)
+
+    def test_negative_propagation_rejected(self, env):
+        with pytest.raises(ValueError):
+            Link(env, rate_bps=1e6, propagation_s=-0.1)
+
+    def test_transmission_time(self, env):
+        link = Link(env, rate_bps=8e6, propagation_s=0.0)
+        assert link.transmission_time_s(1000) == pytest.approx(0.001)
+
+    def test_delivery_time_includes_propagation(self, env):
+        link = Link(env, rate_bps=8e6, propagation_s=0.05)
+        assert link.delivery_time_s(1000) == pytest.approx(0.051)
+
+    def test_transfer_process(self, env):
+        link = Link(env, rate_bps=8e6, propagation_s=0.01)
+
+        def proc(env):
+            yield from link.transfer(2000)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(0.012)
+
+
+class TestUplinkPort:
+    def test_positive_rate_required(self, env):
+        with pytest.raises(ValueError):
+            UplinkPort(env, rate_bps=0)
+
+    def test_single_send_timing(self, env):
+        port = UplinkPort(env, rate_bps=8e6)
+
+        def proc(env):
+            done_at = yield port.send(1000, propagation_s=0.02)
+            return done_at
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(0.001 + 0.02)
+
+    def test_fifo_serialization(self, env):
+        """Two back-to-back sends serialize; the second waits."""
+        port = UplinkPort(env, rate_bps=8e6)
+        arrivals = []
+
+        def proc(env):
+            ev1 = port.send(1000, propagation_s=0.0)
+            ev2 = port.send(1000, propagation_s=0.0)
+            t1 = yield ev1
+            arrivals.append(t1)
+            t2 = yield ev2
+            arrivals.append(t2)
+
+        env.process(proc(env))
+        env.run()
+        assert arrivals[0] == pytest.approx(0.001)
+        assert arrivals[1] == pytest.approx(0.002)
+
+    def test_backlog(self, env):
+        port = UplinkPort(env, rate_bps=8e6)
+        port.send(8000, propagation_s=0.0)  # 8 ms of serialization
+        assert port.backlog_s == pytest.approx(0.008)
+
+    def test_bytes_and_busy_accounting(self, env):
+        port = UplinkPort(env, rate_bps=8e6)
+        port.send(1000, 0.0)
+        port.send(500, 0.0)
+        assert port.bytes_sent == 1500
+        assert port.busy_time_s == pytest.approx(0.0015)
+
+    def test_utilization(self, env):
+        port = UplinkPort(env, rate_bps=8e6)
+
+        def proc(env):
+            yield port.send(8000, propagation_s=0.0)
+            yield env.timeout(0.008)  # idle for as long as the send took
+
+        env.process(proc(env))
+        env.run()
+        assert port.utilization() == pytest.approx(0.5)
+
+    def test_negative_size_rejected(self, env):
+        port = UplinkPort(env, rate_bps=1e6)
+        with pytest.raises(ValueError):
+            port.send(-1, 0.0)
+
+    def test_departure_time_estimate(self, env):
+        port = UplinkPort(env, rate_bps=8e6)
+        port.send(8000, 0.0)
+        # The next 1000-byte send would leave at 8 ms + 1 ms.
+        assert port.departure_time_s(1000) == pytest.approx(0.009)
+
+
+class TestDownlinkMeter:
+    def test_window_positive(self, env):
+        with pytest.raises(ValueError):
+            DownlinkMeter(env, window_s=0.0)
+
+    def test_rate_zero_when_empty(self, env):
+        assert DownlinkMeter(env).rate_bps() == 0.0
+
+    def test_rate_computation(self, env):
+        meter = DownlinkMeter(env, window_s=2.0)
+
+        def proc(env):
+            meter.record(1000)
+            yield env.timeout(1.0)
+            meter.record(1000)
+
+        env.process(proc(env))
+        env.run()
+        assert meter.rate_bps() == pytest.approx(8 * 2000 / 2.0)
+
+    def test_old_arrivals_expire(self, env):
+        meter = DownlinkMeter(env, window_s=1.0)
+
+        def proc(env):
+            meter.record(5000)
+            yield env.timeout(10.0)
+            meter.record(1000)
+
+        env.process(proc(env))
+        env.run()
+        assert meter.rate_bps() == pytest.approx(8 * 1000 / 1.0)
+        assert meter.total_bytes == 6000

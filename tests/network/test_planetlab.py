@@ -1,0 +1,73 @@
+"""Unit tests for the synthetic PlanetLab testbed."""
+
+import numpy as np
+import pytest
+
+from repro.network.planetlab import (
+    EAST_COAST_SITE_KM,
+    WEST_COAST_SITE_KM,
+    build_planetlab,
+)
+from repro.network.topology import HostKind
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    rng = np.random.default_rng(3)
+    return build_planetlab(rng, n_hosts=200, n_datacenters=2, n_sites=30)
+
+
+class TestStructure:
+    def test_host_counts(self, testbed):
+        assert testbed.host_ids.size == 200
+        assert testbed.datacenter_ids.size == 2
+        assert testbed.topology.n_hosts == 202
+
+    def test_datacenters_at_anchors(self, testbed):
+        east = testbed.topology.positions_km[testbed.datacenter_ids[0]]
+        west = testbed.topology.positions_km[testbed.datacenter_ids[1]]
+        assert np.allclose(east, EAST_COAST_SITE_KM)
+        assert np.allclose(west, WEST_COAST_SITE_KM)
+
+    def test_datacenter_kind(self, testbed):
+        for dc in testbed.datacenter_ids:
+            assert testbed.topology.hosts[int(dc)].kind is HostKind.DATACENTER
+
+    def test_extra_datacenters_at_sites(self):
+        rng = np.random.default_rng(4)
+        tb = build_planetlab(rng, n_hosts=50, n_datacenters=4, n_sites=10)
+        assert tb.datacenter_ids.size == 4
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            build_planetlab(rng, n_hosts=-1)
+        with pytest.raises(ValueError):
+            build_planetlab(rng, n_sites=0)
+
+
+class TestLatencyCharacter:
+    def test_coast_to_coast_rtt_realistic(self, testbed):
+        """Published PlanetLab medians: ~60-90 ms coast to coast."""
+        rtt = testbed.latency.rtt_s(
+            int(testbed.datacenter_ids[0]), int(testbed.datacenter_ids[1]))
+        assert 0.04 < rtt < 0.15
+
+    def test_same_site_latency_small(self, testbed):
+        topo = testbed.topology
+        by_site = {}
+        for h in testbed.host_ids:
+            by_site.setdefault(topo.hosts[int(h)].metro_id, []).append(int(h))
+        pairs = [(m[0], m[1]) for m in by_site.values() if len(m) >= 2]
+        assert pairs, "expected sites with multiple hosts"
+        rtts = [testbed.latency.rtt_s(a, b) for a, b in pairs]
+        assert float(np.median(rtts)) < 0.03
+
+    def test_median_pairwise_rtt_matches_planetlab(self, testbed):
+        rng = np.random.default_rng(1)
+        hosts = rng.choice(testbed.host_ids, size=50, replace=False)
+        mat = testbed.latency.rtt_matrix_s(hosts, hosts)
+        off_diag = mat[~np.eye(50, dtype=bool)]
+        median = float(np.median(off_diag))
+        # All-pairs-ping medians on PlanetLab sit around 50-90 ms.
+        assert 0.02 < median < 0.12

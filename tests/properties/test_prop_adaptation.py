@@ -1,0 +1,67 @@
+"""Property-based tests for the rate adaptation controller."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import (
+    AdaptationParams,
+    Adjustment,
+    RateAdaptationController,
+)
+
+rhos = st.sampled_from([0.6, 0.7, 0.8, 0.9, 1.0])
+rs = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+observations = st.lists(st.tuples(rs, st.booleans()), min_size=1,
+                        max_size=120)
+
+
+class TestControllerInvariants:
+    @given(rhos, observations)
+    @settings(max_examples=150)
+    def test_counters_match_decisions(self, rho, obs):
+        ctl = RateAdaptationController(rho)
+        ups = downs = 0
+        for r, missed in obs:
+            decision = ctl.observe(r, deadline_missed=missed)
+            if decision is Adjustment.UP:
+                ups += 1
+            elif decision is Adjustment.DOWN:
+                downs += 1
+        assert ctl.adjustments_up == ups
+        assert ctl.adjustments_down == downs
+
+    @given(rhos, observations)
+    @settings(max_examples=150)
+    def test_no_up_while_missing_deadlines(self, rho, obs):
+        ctl = RateAdaptationController(rho)
+        for r, missed in obs:
+            decision = ctl.observe(r, deadline_missed=missed)
+            if missed:
+                assert decision is not Adjustment.UP
+
+    @given(rhos, st.lists(rs, min_size=1, max_size=50))
+    @settings(max_examples=150)
+    def test_normal_zone_never_adjusts(self, rho, values):
+        ctl = RateAdaptationController(rho)
+        lo, hi = ctl.down_threshold, ctl.up_threshold
+        for r in values:
+            clamped = min(max(r, lo), hi)
+            assert ctl.observe(clamped) is Adjustment.NONE
+
+    @given(rhos, st.integers(1, 10))
+    @settings(max_examples=80)
+    def test_hysteresis_lower_bound(self, rho, h):
+        """Fewer than `h` consecutive lows can never trigger DOWN."""
+        params = AdaptationParams(hysteresis=h)
+        ctl = RateAdaptationController(rho, params)
+        for _ in range(h - 1):
+            assert ctl.observe(0.0) is not Adjustment.UP
+        decisions = [ctl.observe(0.0) for _ in range(1)]
+        # exactly at h the decision fires
+        assert decisions[-1] is Adjustment.DOWN
+
+    @given(rhos)
+    @settings(max_examples=20)
+    def test_thresholds_ordered(self, rho):
+        ctl = RateAdaptationController(rho)
+        assert ctl.down_threshold < ctl.up_threshold

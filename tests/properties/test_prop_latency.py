@@ -1,0 +1,111 @@
+"""Property-based tests for the latency model and playback accounting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.latency import LatencyModel, LatencyParams
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.streaming.playback import PlaybackBuffer
+
+coords = st.lists(
+    st.tuples(st.floats(0, 4000, allow_nan=False),
+              st.floats(0, 2500, allow_nan=False)),
+    min_size=2, max_size=15)
+
+
+def build_model(points, seed=0):
+    rng = np.random.default_rng(seed)
+    return LatencyModel(np.array(points), rng)
+
+
+class TestLatencyProperties:
+    @given(coords, st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, points, seed):
+        model = build_model(points, seed)
+        n = len(points)
+        for i in range(n):
+            for j in range(n):
+                assert model.one_way_s(i, j) == model.one_way_s(j, i)
+
+    @given(coords)
+    @settings(max_examples=80, deadline=None)
+    def test_nonnegative_and_zero_diagonal(self, points):
+        model = build_model(points)
+        n = len(points)
+        for i in range(n):
+            assert model.one_way_s(i, i) == 0.0
+            for j in range(n):
+                assert model.one_way_s(i, j) >= 0.0
+
+    @given(coords)
+    @settings(max_examples=50, deadline=None)
+    def test_latency_at_least_propagation(self, points):
+        model = build_model(points)
+        n = len(points)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert (model.one_way_s(i, j)
+                            >= model.propagation_s(i, j))
+
+    @given(coords)
+    @settings(max_examples=50, deadline=None)
+    def test_throughput_positive_and_monotone_in_rtt(self, points):
+        model = build_model(points)
+        n = len(points)
+        pairs = [(i, j) for i in range(n) for j in range(n) if i < j]
+        rates = [(model.rtt_s(i, j), model.path_throughput_bps(i, j))
+                 for i, j in pairs]
+        for rtt, rate in rates:
+            assert rate > 0
+        rates.sort()
+        for (r1, t1), (r2, t2) in zip(rates, rates[1:]):
+            if r2 > r1:
+                assert t2 <= t1 + 1e-6
+
+
+arrival_specs = st.lists(
+    st.tuples(st.integers(1, 30),                 # n_packets
+              st.integers(0, 5),                  # dropped (clamped)
+              st.floats(0.0, 0.3, allow_nan=False)),  # arrival lateness
+    min_size=1, max_size=40)
+
+
+class TestPlaybackProperties:
+    @given(arrival_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_packet_accounting_balances(self, specs):
+        buf = PlaybackBuffer(segment_duration_s=0.1)
+        t = 0.0
+        for n_packets, dropped, lateness in specs:
+            seg = VideoSegment(
+                player_id=0, quality_level=1,
+                size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+                duration_s=0.1, action_time_s=t, latency_req_s=0.1,
+                loss_tolerance=1.0)
+            seg.drop(min(dropped, n_packets))
+            buf.on_segment_arrival(seg, t + lateness)
+            t += 0.1
+        st_ = buf.stats
+        assert (st_.packets_on_time + st_.packets_late
+                + st_.packets_dropped) == st_.packets_expected
+        assert 0.0 <= st_.continuity <= 1.0
+        assert 0.0 <= st_.loss_fraction <= 1.0
+
+    @given(arrival_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_buffer_never_negative(self, specs):
+        buf = PlaybackBuffer(segment_duration_s=0.1)
+        t = 0.0
+        for n_packets, dropped, lateness in specs:
+            seg = VideoSegment(
+                player_id=0, quality_level=1,
+                size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+                duration_s=0.1, action_time_s=t, latency_req_s=0.1,
+                loss_tolerance=1.0)
+            buf.on_segment_arrival(seg, t + lateness)
+            assert buf.buffered_video_s(t + lateness) >= 0.0
+            t += 0.1
+        assert buf.stall_time_s >= 0.0

@@ -1,0 +1,66 @@
+"""Property-based tests for video segments and packet dropping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+
+segments = st.builds(
+    VideoSegment,
+    player_id=st.integers(0, 100),
+    quality_level=st.integers(1, 5),
+    size_bytes=st.integers(1, 60_000),
+    duration_s=st.just(0.1),
+    action_time_s=st.floats(0, 1e4, allow_nan=False),
+    latency_req_s=st.sampled_from([0.03, 0.05, 0.07, 0.09, 0.11]),
+    loss_tolerance=st.floats(0.0, 1.0),
+)
+
+
+class TestSegmentInvariants:
+    @given(segments)
+    @settings(max_examples=200)
+    def test_packet_count_covers_size(self, seg):
+        assert seg.total_packets >= 1
+        assert seg.total_packets * PACKET_PAYLOAD_BYTES >= seg.size_bytes
+        assert (seg.total_packets - 1) * PACKET_PAYLOAD_BYTES < seg.size_bytes
+
+    @given(segments, st.lists(st.integers(0, 50), max_size=10))
+    @settings(max_examples=200)
+    def test_drop_never_violates_tolerance(self, seg, drop_requests):
+        for n in drop_requests:
+            seg.drop(n)
+        assert 0 <= seg.dropped_packets <= seg.total_packets
+        assert seg.loss_fraction <= seg.loss_tolerance + 1e-9
+        assert seg.meets_loss_tolerance()
+
+    @given(segments, st.lists(st.integers(0, 50), max_size=10))
+    @settings(max_examples=200)
+    def test_remaining_bytes_consistent(self, seg, drop_requests):
+        for n in drop_requests:
+            seg.drop(n)
+        assert 0 <= seg.remaining_bytes <= seg.size_bytes
+        if seg.dropped_packets == 0:
+            assert seg.remaining_bytes == seg.size_bytes
+        if seg.remaining_packets == 0:
+            assert seg.remaining_bytes == 0
+
+    @given(segments)
+    @settings(max_examples=100)
+    def test_drop_all_empties(self, seg):
+        seg.drop_all()
+        assert seg.remaining_packets == 0
+        assert seg.loss_fraction == 1.0
+
+    @given(segments)
+    @settings(max_examples=100)
+    def test_drop_returns_actual_count(self, seg):
+        before = seg.dropped_packets
+        returned = seg.drop(10_000)
+        assert returned == seg.dropped_packets - before
+
+    @given(segments)
+    @settings(max_examples=100)
+    def test_deadline_after_anchor(self, seg):
+        assert seg.deadline_s >= seg.anchor_s
+        assert seg.deadline_s == seg.anchor_s + seg.latency_req_s

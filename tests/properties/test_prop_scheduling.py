@@ -1,0 +1,101 @@
+"""Property-based tests for the deadline-driven sender buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+
+RATE = 8.0 * PACKET_PAYLOAD_BYTES * 200
+
+segment_specs = st.lists(
+    st.tuples(
+        st.integers(1, 40),                      # n_packets
+        st.floats(0.0, 2.0, allow_nan=False),    # action time
+        st.sampled_from([0.03, 0.05, 0.07, 0.09, 0.11]),  # latency req
+        st.floats(0.0, 0.6),                     # loss tolerance
+    ),
+    min_size=1, max_size=25)
+
+
+def build_segment(idx, spec):
+    n_packets, action, req, tol = spec
+    return VideoSegment(
+        player_id=idx,
+        quality_level=1,
+        size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+        duration_s=0.1,
+        action_time_s=action,
+        latency_req_s=req,
+        loss_tolerance=tol,
+    )
+
+
+class TestSchedulerInvariants:
+    @given(segment_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_dequeue_in_deadline_order(self, specs):
+        buf = DeadlineSenderBuffer(RATE)
+        for i, spec in enumerate(specs):
+            buf.enqueue(build_segment(i, spec), now_s=0.0)
+        deadlines = []
+        while True:
+            seg = buf.dequeue()
+            if seg is None:
+                break
+            deadlines.append(seg.deadline_s)
+        assert deadlines == sorted(deadlines)
+        assert len(deadlines) == len(specs)
+
+    @given(segment_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_drops_respect_every_tolerance(self, specs):
+        buf = DeadlineSenderBuffer(RATE)
+        segs = [build_segment(i, spec) for i, spec in enumerate(specs)]
+        for seg in segs:
+            buf.enqueue(seg, now_s=0.0)
+        for seg in segs:
+            assert seg.loss_fraction <= seg.loss_tolerance + 1e-9
+
+    @given(segment_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_counters_consistent(self, specs):
+        buf = DeadlineSenderBuffer(RATE)
+        segs = [build_segment(i, spec) for i, spec in enumerate(specs)]
+        for seg in segs:
+            buf.enqueue(seg, now_s=0.0)
+        assert buf.enqueued == len(specs)
+        total_dropped = sum(s.dropped_packets for s in segs)
+        assert buf.packets_dropped == total_dropped
+
+    @given(segment_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_backlog_matches_remaining_bytes(self, specs):
+        buf = DeadlineSenderBuffer(RATE)
+        segs = [build_segment(i, spec) for i, spec in enumerate(specs)]
+        for seg in segs:
+            buf.enqueue(seg, now_s=0.0)
+        expected = sum(s.remaining_bytes for s in segs
+                       if s.remaining_packets > 0)
+        assert buf.backlog_bytes == expected
+
+    @given(segment_specs, st.floats(0.0, 10.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_estimated_arrival_not_before_now(self, specs, now):
+        buf = DeadlineSenderBuffer(RATE)
+        segs = [build_segment(i, spec) for i, spec in enumerate(specs)]
+        for seg in segs:
+            buf.enqueue(seg, now_s=0.0)
+        for seg in buf.iter_pending():
+            assert buf.estimated_arrival_s(seg, now) >= now
+
+    @given(segment_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_queue_order_estimates_monotone(self, specs):
+        """Later queue positions can never be estimated to arrive
+        earlier than identical-size predecessors' queue component."""
+        buf = DeadlineSenderBuffer(RATE)
+        for i, spec in enumerate(specs):
+            buf.enqueue(build_segment(i, spec), now_s=0.0)
+        preceding = [buf.preceding_bytes(s) for s in buf.iter_pending()]
+        assert preceding == sorted(preceding)

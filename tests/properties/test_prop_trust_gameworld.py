@@ -1,0 +1,124 @@
+"""Property-based tests for the trust system and the virtual world."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trust import TrustParams, TrustRegistry
+from repro.gameworld.actions import random_action
+from repro.gameworld.partition import KdTreePartitioner
+from repro.gameworld.world import World
+
+
+class TestTrustProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_reputation_bounded(self, reports):
+        registry = TrustRegistry()
+        registry.register(0)
+        for tampered in reports:
+            registry.report(0, tampered)
+        rep = registry.reputations()[0]
+        assert 0.0 < rep < 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_eviction_is_permanent(self, reports):
+        registry = TrustRegistry()
+        registry.register(0)
+        evicted_at = None
+        for k, tampered in enumerate(reports):
+            if registry.report(0, tampered):
+                evicted_at = k
+            if evicted_at is not None:
+                assert not registry.is_active(0)
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100)
+    def test_more_tampering_never_raises_reputation(self, clean, tamper):
+        params = TrustParams()
+        from repro.core.trust import SupernodeRecord
+        a = SupernodeRecord(0)
+        a.clean_reports, a.tamper_reports = clean, tamper
+        b = SupernodeRecord(1)
+        b.clean_reports, b.tamper_reports = clean, tamper + 1
+        assert b.reputation(params) < a.reputation(params)
+
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=60)
+    def test_sessions_until_eviction_decreasing_in_tamper_rate(self, t):
+        reg = TrustRegistry()
+        blatant = reg.sessions_until_eviction(1.0)
+        stealthy = reg.sessions_until_eviction(float(t))
+        assert stealthy >= blatant - 1e-9
+
+
+world_seeds = st.integers(0, 10_000)
+
+
+class TestWorldProperties:
+    @given(world_seeds, st.integers(1, 30), st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_positions_stay_on_map(self, seed, n_avatars, n_ticks):
+        rng = np.random.default_rng(seed)
+        world = World(rng, n_avatars=n_avatars)
+        world.run_ticks(rng, n_ticks=n_ticks)
+        pos = world.positions()
+        assert np.all(pos >= 0.0)
+        assert np.all(pos <= world.params.map_size)
+
+    @given(world_seeds, st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_health_bounded(self, seed, n_ticks):
+        rng = np.random.default_rng(seed)
+        world = World(rng, n_avatars=10)
+        world.run_ticks(rng, n_ticks=n_ticks, actions_per_tick=3.0)
+        for avatar in world.avatars.values():
+            assert 0.0 <= avatar.health <= 100.0
+
+    @given(world_seeds, st.integers(2, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_dirty_avatars_exist(self, seed, n_avatars):
+        rng = np.random.default_rng(seed)
+        world = World(rng, n_avatars=n_avatars)
+        dirty = world.step([random_action(rng, 0, n_avatars,
+                                          world.params.map_size)])
+        for aid in dirty:
+            assert aid in world.avatars
+
+
+class TestKdTreeProperties:
+    @given(world_seeds, st.sampled_from([2, 4, 8, 16]),
+           st.integers(10, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_total_and_range(self, seed, n_regions, n_points):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 500, size=(n_points, 2))
+        kd = KdTreePartitioner(n_regions)
+        assignment = kd.partition(pos, 500.0)
+        assert assignment.shape == (n_points,)
+        assert assignment.min() >= 0
+        assert assignment.max() < n_regions
+        assert kd.loads(assignment).sum() == n_points
+
+    @given(world_seeds, st.sampled_from([4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_median_splits_bound_imbalance(self, seed, n_regions):
+        """Median splits keep max/mean below 2 for any distribution with
+        enough points per region."""
+        rng = np.random.default_rng(seed)
+        pos = np.clip(rng.normal(100, 40, size=(n_regions * 40, 2)),
+                      0, 500)
+        kd = KdTreePartitioner(n_regions)
+        assignment = kd.partition(pos, 500.0)
+        assert kd.imbalance(assignment) < 2.0
+
+    @given(world_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_regions_area_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 300, size=(64, 2))
+        kd = KdTreePartitioner(8)
+        kd.partition(pos, 300.0)
+        assert sum(r.area for r in kd.regions) == \
+            __import__("pytest").approx(300.0 * 300.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import Event, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(3.0)
+        env.timeout(1.5)
+        assert env.peek() == 1.5
+
+    def test_run_until_time_advances_clock(self, env):
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+
+class TestScheduling:
+    def test_negative_delay_rejected(self, env):
+        ev = Event(env)
+        with pytest.raises(SimulationError):
+            env.schedule(ev, delay=-1.0)
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_events_fire_in_time_order(self, env):
+        fired = []
+        for delay in (5.0, 1.0, 3.0):
+            ev = env.timeout(delay, value=delay)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        env.run()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_equal_time_events_fire_in_insertion_order(self, env):
+        fired = []
+        for tag in "abc":
+            ev = env.timeout(2.0, value=tag)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        env.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self, env):
+        seen = []
+        ev = env.timeout(7.25)
+        ev.callbacks.append(lambda e: seen.append(env.now))
+        env.run()
+        assert seen == [7.25]
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "done"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "done"
+
+    def test_later_events_not_processed(self, env):
+        fired = []
+        late = env.timeout(10.0)
+        late.callbacks.append(lambda e: fired.append("late"))
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(proc(env)))
+        assert fired == []
+        assert env.now == pytest.approx(1.0)
+
+    def test_already_processed_event_returns_value(self, env):
+        ev = env.timeout(1.0, value="v")
+        env.run()
+        assert env.run(until=ev) == "v"
+
+    def test_until_event_never_triggered_raises(self, env):
+        ev = env.event()  # never triggered
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+
+class TestErrorPropagation:
+    def test_uncaught_process_exception_propagates(self, env):
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_failed_event_without_waiter_propagates(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_failed_event_with_catching_waiter_is_defused(self, env):
+        ev = env.event()
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except RuntimeError:
+                return "caught"
+
+        p = env.process(waiter(env, ev))
+        ev.fail(RuntimeError("handled"))
+        env.run()
+        assert p.value == "caught"
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def trace_run():
+            env = Environment()
+            trace = []
+
+            def worker(env, name, delay):
+                for i in range(3):
+                    yield env.timeout(delay)
+                    trace.append((env.now, name, i))
+
+            env.process(worker(env, "a", 1.0))
+            env.process(worker(env, "b", 1.0))
+            env.process(worker(env, "c", 0.5))
+            env.run()
+            return trace
+
+        assert trace_run() == trace_run()

@@ -1,0 +1,148 @@
+"""Unit tests for event primitives (Event, Timeout, AllOf, AnyOf)."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        with pytest.raises(AttributeError):
+            env.event().value
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event().succeed(99)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 99
+
+    def test_succeed_twice_raises(self, env):
+        ev = env.event().succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_sets_not_ok(self, env):
+        ev = env.event()
+        ev.fail(ValueError("x"))
+        ev.defused = True
+        assert ev.triggered
+        assert not ev.ok
+
+    def test_processed_after_run(self, env):
+        ev = env.event().succeed("v")
+        env.run()
+        assert ev.processed
+
+    def test_trigger_copies_state(self, env):
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered and dst.value == "payload"
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, env):
+        fired = []
+        ev = env.timeout(0.0, value="now")
+        ev.callbacks.append(lambda e: fired.append((env.now, e.value)))
+        env.run()
+        assert fired == [(0.0, "now")]
+
+    def test_carries_value(self, env):
+        def proc(env):
+            got = yield env.timeout(1.0, value="ping")
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "ping"
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+
+        def proc(env):
+            results = yield env.all_of([t1, t2])
+            return (env.now, sorted(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (5.0, ["a", "b"])
+
+    def test_empty_fires_immediately(self, env):
+        def proc(env):
+            results = yield env.all_of([])
+            return results
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {}
+
+    def test_failure_propagates(self, env):
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.all_of([env.timeout(1.0), bad])
+            except RuntimeError:
+                return "failed"
+
+        p = env.process(proc(env))
+        bad.fail(RuntimeError("x"))
+        env.run()
+        assert p.value == "failed"
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+
+        def proc(env):
+            results = yield env.any_of([t1, t2])
+            return (env.now, list(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (1.0, ["fast"])
+
+    def test_timeout_race_pattern(self, env):
+        """The canonical wait-with-timeout idiom."""
+        slow = env.timeout(100.0, value="data")
+
+        def proc(env):
+            deadline = env.timeout(5.0, value="timeout")
+            results = yield env.any_of([slow, deadline])
+            return "timeout" in results.values()
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value is True
+
+    def test_cross_environment_event_rejected(self, env):
+        other = Environment()
+        foreign = other.timeout(1.0)
+        with pytest.raises(ValueError):
+            env.any_of([foreign])
+
+
+class TestInterruptExc:
+    def test_carries_cause(self):
+        exc = Interrupt({"reason": "churn"})
+        assert exc.cause == {"reason": "churn"}

@@ -1,0 +1,218 @@
+"""Unit tests for Store, PriorityStore and Resource."""
+
+import pytest
+
+from repro.sim.resources import PriorityStore, Resource, Store
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("item")
+            got = yield store.get()
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            got = yield store.get()
+            return (env.now, got)
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (4.0, "late")
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(4):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(4):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_bounded_put_blocks(self, env):
+        store = Store(env, capacity=1)
+        timeline = []
+
+        def producer(env):
+            yield store.put("a")
+            timeline.append(("put-a", env.now))
+            yield store.put("b")
+            timeline.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert timeline == [("put-a", 0.0), ("put-b", 3.0)]
+
+    def test_filtered_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put(1)
+            yield store.put(2)
+            yield store.put(3)
+            got = yield store.get(filter=lambda x: x % 2 == 0)
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 2
+        assert store.items == [1, 3]
+
+    def test_len(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(proc(env))
+        env.run()
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_pops_smallest(self, env):
+        store = PriorityStore(env)
+
+        def proc(env):
+            for key in (5, 1, 3):
+                yield store.put(key)
+            a = yield store.get()
+            b = yield store.get()
+            c = yield store.get()
+            return [a, b, c]
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == [1, 3, 5]
+
+    def test_peek_empty_raises(self, env):
+        with pytest.raises(LookupError):
+            PriorityStore(env).peek()
+
+    def test_peek_returns_min_without_removal(self, env):
+        store = PriorityStore(env)
+
+        def proc(env):
+            yield store.put(9)
+            yield store.put(2)
+
+        env.process(proc(env))
+        env.run()
+        assert store.peek() == 2
+        assert len(store) == 2
+
+    def test_remove_predicate(self, env):
+        store = PriorityStore(env)
+
+        def proc(env):
+            for key in (4, 8, 2, 6):
+                yield store.put(key)
+
+        env.process(proc(env))
+        env.run()
+        removed = store.remove(lambda x: x > 5)
+        assert sorted(removed) == [6, 8]
+        assert store.peek() == 2
+
+
+class TestResource:
+    def test_capacity_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_mutual_exclusion(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, name):
+            with res.request() as req:
+                yield req
+                order.append((env.now, name))
+                yield env.timeout(2.0)
+
+        env.process(worker(env, "a"))
+        env.process(worker(env, "b"))
+        env.run()
+        assert order == [(0.0, "a"), (2.0, "b")]
+
+    def test_parallel_within_capacity(self, env):
+        res = Resource(env, capacity=2)
+        starts = []
+
+        def worker(env, name):
+            with res.request() as req:
+                yield req
+                starts.append((env.now, name))
+                yield env.timeout(1.0)
+
+        for name in "abc":
+            env.process(worker(env, name))
+        env.run()
+        assert starts == [(0.0, "a"), (0.0, "b"), (1.0, "c")]
+
+    def test_count_and_queue(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_release_of_ungrateful_request_cancels(self, env):
+        """Releasing a never-granted request removes it from the queue."""
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        env.process(holder(env))
+        env.run(until=1.0)
+        pending = res.request()
+        assert res.queue_length == 1
+        res.release(pending)
+        assert res.queue_length == 0

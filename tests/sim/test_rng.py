@@ -1,0 +1,67 @@
+"""Unit tests for the named RNG registry."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_same_object(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(1)
+        a = reg.stream("a").random(100)
+        b = reg.stream("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_registries(self):
+        x = RngRegistry(9).stream("arrivals").random(50)
+        y = RngRegistry(9).stream("arrivals").random(50)
+        assert np.array_equal(x, y)
+
+    def test_creation_order_irrelevant(self):
+        r1 = RngRegistry(5)
+        r1.stream("zeta")
+        a1 = r1.stream("alpha").random(20)
+
+        r2 = RngRegistry(5)
+        a2 = r2.stream("alpha").random(20)
+        assert np.array_equal(a1, a2)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("s").random(50)
+        b = RngRegistry(2).stream("s").random(50)
+        assert not np.allclose(a, b)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(1).stream("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("seed")
+
+    def test_contains_and_names(self):
+        reg = RngRegistry(1)
+        reg.stream("b")
+        reg.stream("a")
+        assert "a" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+
+    def test_fork_independent(self):
+        base = RngRegistry(3)
+        f1 = base.fork(1)
+        f2 = base.fork(2)
+        x = f1.stream("s").random(30)
+        y = f2.stream("s").random(30)
+        z = base.stream("s").random(30)
+        assert not np.allclose(x, y)
+        assert not np.allclose(x, z)
+
+    def test_fork_reproducible(self):
+        a = RngRegistry(3).fork(7).stream("s").random(10)
+        b = RngRegistry(3).fork(7).stream("s").random(10)
+        assert np.array_equal(a, b)

@@ -1,0 +1,101 @@
+"""Unit tests for the per-player segment encoder."""
+
+import pytest
+
+from repro.streaming.encoder import SegmentEncoder
+from repro.streaming.video import SEGMENT_DURATION_S, get_level
+
+
+def make_encoder(latency_req_s=0.090, loss_tolerance=0.2, initial=None):
+    return SegmentEncoder(
+        player_id=7,
+        game_latency_req_s=latency_req_s,
+        game_loss_tolerance=loss_tolerance,
+        initial_level=initial,
+    )
+
+
+class TestInitialLevel:
+    def test_defaults_to_highest_feasible(self):
+        assert make_encoder(0.090).level == 4
+
+    def test_strict_game_starts_low(self):
+        assert make_encoder(0.030).level == 1
+
+    def test_explicit_initial(self):
+        assert make_encoder(0.110, initial=2).level == 2
+
+    def test_max_level_cap(self):
+        enc = make_encoder(0.070)
+        assert enc.max_level == 3
+
+
+class TestAdjustments:
+    def test_up_down(self):
+        enc = make_encoder(0.110, initial=3)
+        assert enc.adjust_up()
+        assert enc.level == 4
+        assert enc.adjust_down()
+        assert enc.level == 3
+
+    def test_up_capped_at_game_ceiling(self):
+        """§III-B: never encode above the game's latency requirement."""
+        enc = make_encoder(0.070)  # ceiling = 3
+        assert enc.level == 3
+        assert not enc.adjust_up()
+        assert enc.level == 3
+
+    def test_down_floored_at_level_1(self):
+        enc = make_encoder(0.030)
+        assert enc.level == 1
+        assert not enc.adjust_down()
+        assert enc.level == 1
+
+    def test_set_level_clamped(self):
+        enc = make_encoder(0.070)
+        enc.set_level(5)
+        assert enc.level == 3
+
+    def test_set_level_invalid(self):
+        with pytest.raises(ValueError):
+            make_encoder().set_level(0)
+
+    def test_bitrate_tracks_level(self):
+        enc = make_encoder(0.110, initial=2)
+        assert enc.bitrate_bps == get_level(2).bitrate_bps
+        enc.adjust_up()
+        assert enc.bitrate_bps == get_level(3).bitrate_bps
+
+
+class TestEncoding:
+    def test_segment_fields(self):
+        enc = make_encoder(0.090, loss_tolerance=0.25)
+        seg = enc.encode_segment(
+            action_time_s=1.0, now_s=1.06, state_ready_s=1.05)
+        assert seg.player_id == 7
+        assert seg.quality_level == 4
+        assert seg.action_time_s == 1.0
+        assert seg.state_ready_s == 1.05
+        assert seg.created_at_s == 1.06
+        assert seg.latency_req_s == pytest.approx(0.090)
+        assert seg.loss_tolerance == pytest.approx(0.25)
+        assert seg.duration_s == SEGMENT_DURATION_S
+
+    def test_segment_size_matches_level(self):
+        enc = make_encoder(0.090)
+        seg = enc.encode_segment(0.0, 0.0)
+        assert seg.size_bytes == get_level(4).segment_bytes()
+
+    def test_counters(self):
+        enc = make_encoder()
+        for k in range(3):
+            enc.encode_segment(k * 0.1, k * 0.1)
+        assert enc.segments_encoded == 3
+        assert enc.bytes_encoded == 3 * get_level(4).segment_bytes()
+
+    def test_level_change_between_segments(self):
+        enc = make_encoder(0.110)
+        big = enc.encode_segment(0.0, 0.0)
+        enc.adjust_down()
+        small = enc.encode_segment(0.1, 0.1)
+        assert small.size_bytes < big.size_bytes

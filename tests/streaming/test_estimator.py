@@ -1,0 +1,94 @@
+"""Tests for the literal Eq. 7/8 estimator, including the faithfulness
+check against the ground-truth playback buffer."""
+
+import numpy as np
+import pytest
+
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.streaming.estimator import Eq7Estimator
+from repro.streaming.playback import PlaybackBuffer
+
+RATE = 800_000.0  # level-3 bitrate
+
+
+class TestEq7Mechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Eq7Estimator(0.0)
+        with pytest.raises(ValueError):
+            Eq7Estimator(RATE, segment_duration_s=0.0)
+
+    def test_starts_empty(self):
+        est = Eq7Estimator(RATE)
+        assert est.buffered_segments == 0.0
+
+    def test_accumulates_surplus(self):
+        """d > b_p grows the buffer at the rate difference."""
+        est = Eq7Estimator(RATE)
+        est.update(0.0, download_rate_bps=2 * RATE)
+        r = est.update(1.0, download_rate_bps=2 * RATE)
+        # One second at surplus RATE = 1 s of video = 10 segments of 0.1 s.
+        assert est.buffered_video_s == pytest.approx(1.0)
+        assert r == pytest.approx(10.0)
+
+    def test_drains_on_deficit(self):
+        est = Eq7Estimator(RATE)
+        est.update(0.0, 2 * RATE)
+        est.update(1.0, 2 * RATE)      # 1 s buffered
+        est.update(2.0, 0.0)           # starved for 1 s
+        assert est.buffered_video_s == pytest.approx(0.0)
+
+    def test_never_negative(self):
+        est = Eq7Estimator(RATE)
+        est.update(0.0, RATE)
+        est.update(10.0, 0.0)
+        assert est.buffered_video_s == 0.0
+
+    def test_time_backwards_rejected(self):
+        est = Eq7Estimator(RATE)
+        est.update(5.0, RATE)
+        with pytest.raises(ValueError):
+            est.update(4.0, RATE)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Eq7Estimator(RATE).update(0.0, -1.0)
+
+    def test_rate_change_preserves_seconds(self):
+        est = Eq7Estimator(RATE)
+        est.update(0.0, 2 * RATE)
+        est.update(1.0, 2 * RATE)
+        seconds = est.buffered_video_s
+        est.set_playback_rate(2 * RATE)
+        assert est.buffered_video_s == pytest.approx(seconds)
+
+
+class TestFaithfulness:
+    def test_eq7_tracks_ground_truth(self):
+        """Eq. 7 driven by measured download rates must agree with the
+        direct buffer accounting within one segment."""
+        rng = np.random.default_rng(3)
+        tau = 0.1
+        seg_bytes = int(RATE * tau / 8)
+        buffer = PlaybackBuffer(segment_duration_s=tau)
+        est = Eq7Estimator(RATE, segment_duration_s=tau)
+
+        now = 0.0
+        est.update(now, 0.0)
+        last_arrival = 0.0
+        for k in range(100):
+            # Variable inter-arrival: surplus then deficit phases.
+            gap = 0.05 if k % 20 < 10 else 0.15
+            now += gap
+            seg = VideoSegment(
+                player_id=0, quality_level=3, size_bytes=seg_bytes,
+                duration_s=tau, action_time_s=now - 0.05,
+                latency_req_s=1.0, loss_tolerance=0.0)
+            buffer.on_segment_arrival(seg, now)
+            # d(t_k): bits since last arrival over the elapsed time.
+            d = 8.0 * seg_bytes / (now - last_arrival)
+            est.update(now, d)
+            last_arrival = now
+
+            truth = buffer.buffered_segments(now)
+            assert est.buffered_segments == pytest.approx(truth, abs=1.01)

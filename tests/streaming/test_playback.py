@@ -1,0 +1,158 @@
+"""Unit tests for the playback buffer and QoE accounting."""
+
+import pytest
+
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.streaming.playback import PlaybackBuffer, PlaybackStats
+
+
+def make_segment(action_time_s=0.0, latency_req_s=0.1, n_packets=10,
+                 loss_tolerance=0.5, duration_s=0.1):
+    return VideoSegment(
+        player_id=0,
+        quality_level=3,
+        size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+        duration_s=duration_s,
+        action_time_s=action_time_s,
+        latency_req_s=latency_req_s,
+        loss_tolerance=loss_tolerance,
+    )
+
+
+def make_buffer():
+    return PlaybackBuffer(segment_duration_s=0.1)
+
+
+class TestArrivalAccounting:
+    def test_on_time_arrival(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(0.0, 0.1), now_s=0.05)
+        st = buf.stats
+        assert st.packets_expected == 10
+        assert st.packets_on_time == 10
+        assert st.packets_late == 0
+        assert st.continuity == 1.0
+
+    def test_late_arrival(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(0.0, 0.1), now_s=0.2)
+        st = buf.stats
+        assert st.packets_on_time == 0
+        assert st.packets_late == 10
+        assert st.continuity == 0.0
+
+    def test_deadline_uses_state_ready_anchor(self):
+        buf = make_buffer()
+        seg = make_segment(0.0, 0.1)
+        seg.state_ready_s = 0.15
+        buf.on_segment_arrival(seg, now_s=0.2)  # 0.2 <= 0.15 + 0.1
+        assert buf.stats.packets_on_time == 10
+
+    def test_partially_dropped_segment(self):
+        buf = make_buffer()
+        seg = make_segment(0.0, 0.1)
+        seg.drop(3)
+        buf.on_segment_arrival(seg, now_s=0.05)
+        st = buf.stats
+        assert st.packets_expected == 10
+        assert st.packets_on_time == 7
+        assert st.packets_dropped == 3
+        assert st.continuity == pytest.approx(0.7)
+
+    def test_lost_segment(self):
+        buf = make_buffer()
+        buf.on_segment_lost(make_segment())
+        st = buf.stats
+        assert st.packets_expected == 10
+        assert st.packets_dropped == 10
+        assert st.continuity == 0.0
+
+    def test_latency_tracking(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(1.0, 0.2), now_s=1.08)
+        buf.on_segment_arrival(make_segment(1.1, 0.2), now_s=1.22)
+        assert buf.stats.mean_latency_s == pytest.approx((0.08 + 0.12) / 2)
+
+    def test_empty_stats(self):
+        st = PlaybackStats()
+        assert st.continuity == 1.0
+        assert st.mean_latency_s == 0.0
+
+
+class TestSatisfaction:
+    def test_satisfied_default(self):
+        buf = make_buffer()
+        for k in range(20):
+            buf.on_segment_arrival(make_segment(k * 0.1, 0.1), k * 0.1 + 0.05)
+        assert buf.stats.is_satisfied()
+
+    def test_unsatisfied_when_late(self):
+        buf = make_buffer()
+        for k in range(20):
+            late = 0.2 if k < 5 else 0.05
+            buf.on_segment_arrival(make_segment(k * 0.1, 0.1),
+                                   k * 0.1 + late)
+        assert not buf.stats.is_satisfied()
+
+    def test_loss_tolerance_aware_satisfaction(self):
+        """Packets dropped within the game's tolerance do not count
+        against the 95 % on-time criterion."""
+        buf = make_buffer()
+        for k in range(20):
+            seg = make_segment(k * 0.1, 0.1, loss_tolerance=0.3)
+            seg.drop(2)  # 20% loss, within 30% tolerance
+            buf.on_segment_arrival(seg, k * 0.1 + 0.05)
+        st = buf.stats
+        assert not st.is_satisfied()  # strict reading fails (80% < 95%)
+        assert st.is_satisfied(loss_tolerance=0.3)
+
+    def test_loss_above_tolerance_unsatisfies(self):
+        buf = make_buffer()
+        for k in range(20):
+            seg = make_segment(k * 0.1, 0.1, loss_tolerance=0.5)
+            seg.drop(4)  # 40% loss
+            buf.on_segment_arrival(seg, k * 0.1 + 0.05)
+        assert not buf.stats.is_satisfied(loss_tolerance=0.3)
+
+    def test_fractions(self):
+        buf = make_buffer()
+        seg = make_segment(0.0, 0.1, loss_tolerance=0.5)
+        seg.drop(5)
+        buf.on_segment_arrival(seg, 0.05)
+        st = buf.stats
+        assert st.loss_fraction == pytest.approx(0.5)
+        assert st.on_time_fraction_of_received == pytest.approx(1.0)
+
+
+class TestBufferDynamics:
+    def test_buffered_video_accumulates(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(duration_s=0.1), now_s=0.0)
+        buf.on_segment_arrival(make_segment(duration_s=0.1), now_s=0.0)
+        assert buf.buffered_video_s(0.0) == pytest.approx(0.2)
+        assert buf.buffered_segments(0.0) == pytest.approx(2.0)
+
+    def test_playback_drains_in_real_time(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(duration_s=0.1), now_s=0.0)
+        assert buf.buffered_video_s(0.05) == pytest.approx(0.05)
+        assert buf.buffered_video_s(0.1) == pytest.approx(0.0)
+
+    def test_stall_accounting(self):
+        buf = make_buffer()
+        buf.on_segment_arrival(make_segment(duration_s=0.1), now_s=0.0)
+        buf.buffered_video_s(0.5)  # drains dry at 0.1, stalls 0.4
+        assert buf.stall_time_s == pytest.approx(0.4)
+        assert buf.stall_count == 1
+
+    def test_no_drain_before_playing(self):
+        buf = make_buffer()
+        assert buf.buffered_video_s(10.0) == 0.0
+        assert buf.stall_time_s == 0.0
+
+    def test_partial_segment_contributes_partial_video(self):
+        buf = make_buffer()
+        seg = make_segment(duration_s=0.1, n_packets=10)
+        seg.drop(5)
+        buf.on_segment_arrival(seg, now_s=0.0)
+        assert buf.buffered_video_s(0.0) == pytest.approx(0.05)

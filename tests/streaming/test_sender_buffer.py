@@ -1,0 +1,92 @@
+"""Unit tests for the FIFO sender buffer baseline."""
+
+import pytest
+
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.streaming.sender_buffer import FifoSenderBuffer
+
+
+def seg(player=0, n_packets=5, deadline_req=0.1, action=0.0):
+    return VideoSegment(
+        player_id=player,
+        quality_level=1,
+        size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+        duration_s=0.1,
+        action_time_s=action,
+        latency_req_s=deadline_req,
+        loss_tolerance=0.2,
+    )
+
+
+class TestFifo:
+    def test_empty_dequeue_none(self):
+        assert FifoSenderBuffer().dequeue() is None
+
+    def test_arrival_order(self):
+        buf = FifoSenderBuffer()
+        segments = [seg(player=i) for i in range(3)]
+        for s in segments:
+            buf.enqueue(s, now_s=0.0)
+        assert [buf.dequeue().player_id for _ in range(3)] == [0, 1, 2]
+
+    def test_enqueue_stamps_time(self):
+        buf = FifoSenderBuffer()
+        s = seg()
+        buf.enqueue(s, now_s=2.5)
+        assert s.enqueued_at_s == 2.5
+
+    def test_counters(self):
+        buf = FifoSenderBuffer()
+        buf.enqueue(seg(), 0.0)
+        buf.enqueue(seg(), 0.0)
+        buf.dequeue()
+        assert buf.enqueued == 2
+        assert buf.dequeued == 1
+        assert len(buf) == 1
+
+    def test_peek_nondestructive(self):
+        buf = FifoSenderBuffer()
+        s = seg(player=9)
+        buf.enqueue(s, 0.0)
+        assert buf.peek() is s
+        assert len(buf) == 1
+
+    def test_peek_empty(self):
+        assert FifoSenderBuffer().peek() is None
+
+    def test_backlog_bytes(self):
+        buf = FifoSenderBuffer()
+        buf.enqueue(seg(n_packets=2), 0.0)
+        buf.enqueue(seg(n_packets=3), 0.0)
+        assert buf.backlog_bytes == PACKET_PAYLOAD_BYTES * 5
+
+    def test_preceding_bytes(self):
+        buf = FifoSenderBuffer()
+        first = seg(n_packets=4)
+        second = seg(n_packets=2)
+        buf.enqueue(first, 0.0)
+        buf.enqueue(second, 0.0)
+        assert buf.preceding_bytes(first) == 0.0
+        assert buf.preceding_bytes(second) == PACKET_PAYLOAD_BYTES * 4
+
+    def test_preceding_bytes_missing_segment(self):
+        buf = FifoSenderBuffer()
+        buf.enqueue(seg(), 0.0)
+        with pytest.raises(ValueError):
+            buf.preceding_bytes(seg())
+
+    def test_iter_pending_order(self):
+        buf = FifoSenderBuffer()
+        segments = [seg(player=i) for i in range(4)]
+        for s in segments:
+            buf.enqueue(s, 0.0)
+        assert [s.player_id for s in buf.iter_pending()] == [0, 1, 2, 3]
+
+    def test_now_arg_ignored(self):
+        """FIFO sends everything however late (interface parity)."""
+        buf = FifoSenderBuffer()
+        s = seg(deadline_req=0.01, action=0.0)
+        buf.enqueue(s, 0.0)
+        out = buf.dequeue(now_s=100.0)
+        assert out is s
+        assert out.remaining_packets == out.total_packets

@@ -1,0 +1,119 @@
+"""Unit tests for the Figure 2 quality ladder."""
+
+import pytest
+
+from repro.streaming.video import (
+    FRAME_RATE_FPS,
+    MAX_LEVEL,
+    MIN_LEVEL,
+    QUALITY_LADDER,
+    SEGMENT_DURATION_S,
+    QualityLevel,
+    get_level,
+    highest_level_for_latency,
+    level_for_bitrate,
+    max_adjust_up_factor,
+)
+
+
+class TestLadderContents:
+    """The ladder must match paper Figure 2 row for row."""
+
+    EXPECTED = [
+        (1, (288, 216), 300_000, 0.030, 0.6),
+        (2, (384, 216), 500_000, 0.050, 0.7),
+        (3, (640, 480), 800_000, 0.070, 0.8),
+        (4, (720, 486), 1_200_000, 0.090, 0.9),
+        (5, (1280, 720), 1_800_000, 0.110, 1.0),
+    ]
+
+    @pytest.mark.parametrize("row", EXPECTED)
+    def test_row(self, row):
+        level, res, bitrate, req, rho = row
+        ql = get_level(level)
+        assert ql.resolution == res
+        assert ql.bitrate_bps == bitrate
+        assert ql.latency_req_s == pytest.approx(req)
+        assert ql.latency_tolerance == pytest.approx(rho)
+
+    def test_five_levels(self):
+        assert len(QUALITY_LADDER) == 5
+        assert MIN_LEVEL == 1 and MAX_LEVEL == 5
+
+    def test_monotone_bitrate_and_latency(self):
+        for lo, hi in zip(QUALITY_LADDER, QUALITY_LADDER[1:]):
+            assert hi.bitrate_bps > lo.bitrate_bps
+            assert hi.latency_req_s > lo.latency_req_s
+            assert hi.latency_tolerance >= lo.latency_tolerance
+
+    def test_frame_rate_is_onlive_30fps(self):
+        assert FRAME_RATE_FPS == 30
+
+
+class TestLookups:
+    def test_get_level_bounds(self):
+        with pytest.raises(ValueError):
+            get_level(0)
+        with pytest.raises(ValueError):
+            get_level(6)
+
+    def test_highest_level_for_90ms_is_4(self):
+        """Paper §III-B: 90 ms requirement -> 1200 kbps (level 4)."""
+        assert highest_level_for_latency(0.090).level == 4
+
+    def test_highest_level_for_110ms_is_5(self):
+        assert highest_level_for_latency(0.110).level == 5
+
+    def test_strict_requirement_falls_to_lowest(self):
+        assert highest_level_for_latency(0.010).level == 1
+
+    def test_between_levels_rounds_down(self):
+        assert highest_level_for_latency(0.080).level == 3
+
+    def test_level_for_bitrate_exact(self):
+        assert level_for_bitrate(800_000).level == 3
+
+    def test_level_for_bitrate_between(self):
+        assert level_for_bitrate(1_000_000).level == 3
+
+    def test_level_for_bitrate_below_min(self):
+        assert level_for_bitrate(100_000).level == 1
+
+
+class TestSegmentBytes:
+    def test_segment_size(self):
+        ql = get_level(2)  # 500 kbps
+        assert ql.segment_bytes(0.1) == round(500_000 * 0.1 / 8)
+
+    def test_minimum_one_byte(self):
+        ql = get_level(1)
+        assert ql.segment_bytes(1e-9) == 1
+
+    def test_segment_duration_sane(self):
+        # A segment must be deliverable within the strictest requirement.
+        assert 0.0 < SEGMENT_DURATION_S <= 0.2
+
+
+class TestBeta:
+    def test_beta_is_max_relative_step(self):
+        """Eq. 10: the 800->1200 kbps step is the largest (50%)...
+        unless another step is bigger; verify against the ladder."""
+        steps = [
+            (hi.bitrate_bps - lo.bitrate_bps) / lo.bitrate_bps
+            for lo, hi in zip(QUALITY_LADDER, QUALITY_LADDER[1:])
+        ]
+        assert max_adjust_up_factor() == pytest.approx(max(steps))
+
+    def test_beta_value(self):
+        # 300->500 is 66.7%, the largest relative step in Figure 2.
+        assert max_adjust_up_factor() == pytest.approx(2.0 / 3.0)
+
+
+class TestValidation:
+    def test_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            QualityLevel(1, (10, 10), 0.0, 0.05, 0.5)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            QualityLevel(1, (10, 10), 100.0, 0.05, 1.5)

@@ -1,0 +1,70 @@
+"""Unit tests for the Pareto capacity distribution."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.video import QUALITY_LADDER
+from repro.workload.capacities import (
+    SLOT_BANDWIDTH_BPS,
+    pareto_capacities,
+    upload_bandwidth_bps,
+)
+
+
+class TestParetoCapacities:
+    def test_mean_near_target(self, rng):
+        caps = pareto_capacities(rng, 20_000, mean=5.0)
+        assert abs(caps.mean() - 5.0) < 0.6
+
+    def test_all_at_least_one(self, rng):
+        caps = pareto_capacities(rng, 5000)
+        assert caps.min() >= 1
+
+    def test_integer_dtype(self, rng):
+        caps = pareto_capacities(rng, 100)
+        assert np.issubdtype(caps.dtype, np.integer)
+
+    def test_heavy_tail(self, rng):
+        """Pareto with α=1: a visible tail of high-capacity nodes."""
+        caps = pareto_capacities(rng, 20_000, mean=5.0)
+        assert caps.max() > 20
+        assert np.mean(caps >= 10) > 0.02
+
+    def test_skewed_distribution(self, rng):
+        caps = pareto_capacities(rng, 20_000, mean=5.0)
+        assert np.median(caps) < caps.mean()
+
+    def test_zero_draws(self, rng):
+        assert pareto_capacities(rng, 0).shape == (0,)
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pareto_capacities(rng, -1)
+
+    def test_mean_must_exceed_one(self, rng):
+        with pytest.raises(ValueError):
+            pareto_capacities(rng, 10, mean=0.5)
+
+    def test_bad_shape_params(self, rng):
+        with pytest.raises(ValueError):
+            pareto_capacities(rng, 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            pareto_capacities(rng, 10, cap=1.0)
+
+    def test_other_means(self, rng):
+        caps = pareto_capacities(rng, 20_000, mean=10.0)
+        assert abs(caps.mean() - 10.0) < 1.2
+
+    def test_reproducible(self):
+        a = pareto_capacities(np.random.default_rng(5), 100)
+        b = pareto_capacities(np.random.default_rng(5), 100)
+        assert np.array_equal(a, b)
+
+
+class TestUploadBandwidth:
+    def test_slot_backs_top_quality(self):
+        assert SLOT_BANDWIDTH_BPS == QUALITY_LADDER[-1].bitrate_bps
+
+    def test_linear_in_slots(self):
+        bw = upload_bandwidth_bps(np.array([1, 2, 5]))
+        assert np.allclose(bw, np.array([1, 2, 5]) * SLOT_BANDWIDTH_BPS)

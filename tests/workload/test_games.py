@@ -1,0 +1,45 @@
+"""Unit tests for the five games."""
+
+import pytest
+
+from repro.streaming.video import QUALITY_LADDER
+from repro.workload.games import GAMES, Game, game_for_level
+
+
+class TestGames:
+    def test_five_games(self):
+        assert len(GAMES) == 5
+
+    def test_aligned_with_ladder(self):
+        for game, ql in zip(GAMES, QUALITY_LADDER):
+            assert game.game_id == ql.level
+            assert game.latency_req_s == ql.latency_req_s
+            assert game.latency_tolerance == ql.latency_tolerance
+
+    def test_loss_tolerance_decreases_with_latency_tolerance(self):
+        """Fast-paced games tolerate loss; slow-paced games don't."""
+        tolerances = [g.loss_tolerance for g in GAMES]
+        assert tolerances == sorted(tolerances, reverse=True)
+
+    def test_loss_tolerances_in_range(self):
+        for g in GAMES:
+            assert 0.05 <= g.loss_tolerance <= 0.5
+
+    def test_quality_level_property(self):
+        assert GAMES[2].quality_level.bitrate_bps == 800_000
+
+    def test_game_for_level(self):
+        assert game_for_level(4).game_id == 4
+
+    def test_game_for_level_bounds(self):
+        with pytest.raises(ValueError):
+            game_for_level(0)
+        with pytest.raises(ValueError):
+            game_for_level(6)
+
+    def test_invalid_loss_tolerance(self):
+        with pytest.raises(ValueError):
+            Game(1, "x", 0.05, 0.5, 1.5)
+
+    def test_genres_distinct(self):
+        assert len({g.genre for g in GAMES}) == 5

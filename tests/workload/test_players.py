@@ -1,0 +1,105 @@
+"""Unit tests for population assembly."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import HostKind
+from repro.sim.rng import RngRegistry
+from repro.workload.players import (
+    DATACENTER_ACCESS_S,
+    build_population,
+)
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return build_population(
+        RngRegistry(21), n_players=400, n_datacenters=4,
+        n_supernodes=25, n_edge_servers=6)
+
+
+class TestStructure:
+    def test_counts(self, pop):
+        assert pop.n_players == 400
+        assert pop.datacenter_ids.size == 4
+        assert pop.supernode_host_ids.size == 25
+        assert pop.edge_server_host_ids.size == 6
+
+    def test_player_host_alignment(self, pop):
+        hosts = pop.player_host_ids()
+        for i, p in enumerate(pop.players):
+            assert p.player_id == i
+            assert p.host_id == hosts[i]
+
+    def test_supernodes_are_player_hosts(self, pop):
+        player_hosts = set(int(h) for h in pop.player_host_ids())
+        for sn in pop.supernode_host_ids:
+            assert int(sn) in player_hosts
+
+    def test_supernode_kind_promoted(self, pop):
+        for sn in pop.supernode_host_ids:
+            assert pop.topology.hosts[int(sn)].kind is HostKind.SUPERNODE
+
+    def test_latency_covers_all_hosts(self, pop):
+        assert pop.latency.n_hosts == pop.topology.n_hosts
+
+
+class TestEndowments:
+    def test_capable_fraction(self, pop):
+        capable = pop.capable_player_ids()
+        assert capable.size == 40  # 10% of 400
+
+    def test_capable_are_high_capacity(self, pop):
+        caps = np.array([p.capacity_slots for p in pop.players])
+        capable = pop.capable_player_ids()
+        incapable_max_relevant = np.percentile(caps, 50)
+        capable_caps = caps[capable]
+        assert capable_caps.min() >= incapable_max_relevant
+
+    def test_supernodes_drawn_from_capable(self, pop):
+        capable_hosts = {
+            pop.players[int(p)].host_id for p in pop.capable_player_ids()}
+        for sn in pop.supernode_host_ids:
+            assert int(sn) in capable_hosts
+
+    def test_daily_play_positive(self, pop):
+        for p in pop.players:
+            assert p.daily_play_s > 0
+
+
+class TestAccessOverrides:
+    def test_datacenter_access_small(self, pop):
+        for dc in pop.datacenter_ids:
+            assert pop.latency.access_s[int(dc)] == DATACENTER_ACCESS_S
+
+    def test_edge_access_small(self, pop):
+        for e in pop.edge_server_host_ids:
+            assert pop.latency.access_s[int(e)] == DATACENTER_ACCESS_S
+
+    def test_supernode_access_vetted(self, pop):
+        sn_access = pop.latency.access_s[pop.supernode_host_ids]
+        assert float(np.median(sn_access)) < 0.012
+
+
+class TestValidation:
+    def test_too_many_supernodes(self):
+        with pytest.raises(ValueError):
+            build_population(
+                RngRegistry(1), n_players=100, n_datacenters=1,
+                n_supernodes=50, capable_fraction=0.1)
+
+    def test_bad_capable_fraction(self):
+        with pytest.raises(ValueError):
+            build_population(
+                RngRegistry(1), n_players=10, n_datacenters=1,
+                n_supernodes=0, capable_fraction=1.5)
+
+    def test_reproducible(self):
+        p1 = build_population(RngRegistry(8), n_players=100,
+                              n_datacenters=2, n_supernodes=5)
+        p2 = build_population(RngRegistry(8), n_players=100,
+                              n_datacenters=2, n_supernodes=5)
+        assert np.array_equal(p1.supernode_host_ids, p2.supernode_host_ids)
+        assert np.array_equal(p1.latency.access_s, p2.latency.access_s)
+        assert ([p.capacity_slots for p in p1.players]
+                == [p.capacity_slots for p in p2.players])
