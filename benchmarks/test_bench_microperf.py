@@ -92,3 +92,52 @@ def test_scheduler_enqueue_throughput(benchmark):
         return buf.enqueued
 
     assert benchmark(run) == 2_000
+
+
+def test_scheduler_drain_throughput(benchmark):
+    """Deadline buffer bulk drain: the index-cursor dequeue.
+
+    Builds a deep backlog and drains it completely; with the old
+    ``list.pop(0)`` dequeue this is O(n²) and the benchmark delta
+    explodes, with the cursor it stays O(n). Dropping is disabled so the
+    bench isolates the queue discipline from the Eq. 14 estimate pass.
+    """
+    from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+    from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+
+    N = 4_000
+
+    def run():
+        buf = DeadlineSenderBuffer(
+            18e6, params=SchedulingParams(enable_dropping=False))
+        for k in range(N):
+            seg = VideoSegment(
+                player_id=k % 20, quality_level=3,
+                size_bytes=PACKET_PAYLOAD_BYTES * 8, duration_s=0.1,
+                action_time_s=k * 0.005, latency_req_s=10.0,
+                loss_tolerance=0.0)
+            buf.enqueue(seg, now_s=k * 0.005)
+        drained = 0
+        while buf.dequeue() is not None:
+            drained += 1
+        return drained
+
+    assert benchmark(run) == N
+
+
+def test_propagation_estimator_throughput(benchmark):
+    """Eq. 13 estimator: bounded-window record/estimate churn."""
+    from repro.core.scheduling import PropagationEstimator
+
+    N = 50_000
+
+    def run():
+        est = PropagationEstimator(window=10)
+        total = 0.0
+        for k in range(N):
+            est.record(k % 40, 0.001 * (k % 97))
+            if k % 8 == 0:
+                total += est.estimate(k % 40)
+        return total
+
+    assert benchmark(run) > 0

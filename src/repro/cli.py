@@ -8,6 +8,10 @@ Examples
     cloudfog fig10 --scale 0.3        # rate-adaptation satisfaction sweep
     cloudfog all --scale 0.05         # quick pass over every figure
     cloudfog ladder                   # print the Figure 2 quality ladder
+    cloudfog trace --figure fig8 --out trace.jsonl
+                                      # run with telemetry + invariant
+                                      # checks, dump the JSONL trace and
+                                      # print the run digest
 """
 
 from __future__ import annotations
@@ -58,7 +62,87 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudfog trace",
+        description="Run one experiment with full telemetry: structured "
+                    "JSONL trace, metrics registry export, live invariant "
+                    "checking, and a reproducibility digest.",
+    )
+    parser.add_argument(
+        "--figure", default="fig8",
+        help="experiment key or figure prefix (e.g. fig8 = fig8a+fig8b; "
+             "default fig8)")
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="population scale factor in (0, 1] (default 0.05)")
+    parser.add_argument(
+        "--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the trace as JSONL to PATH")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the aggregated metrics snapshot as JSON to PATH")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the live invariant checkers")
+    parser.add_argument(
+        "--kernel", action="store_true",
+        help="also trace raw kernel schedule/step events (verbose)")
+    return parser
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """``cloudfog trace``: run an experiment under full observability."""
+    from repro.obs import Observability, TraceRecorder, default_checkers
+    from repro.experiments.runner import resolve_experiments
+
+    parser = build_trace_parser()
+    args = parser.parse_args(argv)
+    try:
+        keys = resolve_experiments(args.figure)  # fail fast on bad names
+    except ValueError as exc:
+        parser.error(str(exc))
+    obs = Observability(
+        trace=TraceRecorder(),
+        checkers=[] if args.no_check else default_checkers(),
+        trace_kernel=args.kernel,
+    )
+    t0 = time.time()
+    run_experiment(args.figure, scale=args.scale, seed=args.seed, obs=obs)
+    elapsed = time.time() - t0
+
+    if args.out:
+        n = obs.trace.save(args.out)
+        print(f"wrote {n} events to {args.out}")
+    snapshot = obs.metrics.snapshot()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            json.dump(snapshot, fp, indent=2, sort_keys=True)
+        print(f"wrote {len(snapshot)} metrics to {args.metrics_out}")
+
+    print(f"experiments: {' '.join(keys)}")
+    print(f"events:      {len(obs.trace)}")
+    print(f"digest:      {obs.digest()}")
+    checks = "skipped" if args.no_check else (
+        f"passed ({len(obs.checkers)} checkers)")
+    print(f"invariants:  {checks}")
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if entry["kind"] == "histogram":
+            print(f"  {name}: n={entry['count']} mean={entry['mean']:.4g}")
+        else:
+            print(f"  {name}: {entry['value']}")
+    print(f"[{elapsed:.1f}s, scale={args.scale}, seed={args.seed}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "ladder":
         _print_ladder()

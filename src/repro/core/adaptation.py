@@ -22,8 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.video import max_adjust_up_factor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class Adjustment(Enum):
@@ -96,6 +101,8 @@ class RateAdaptationController:
         self,
         latency_tolerance: float,
         params: AdaptationParams | None = None,
+        obs: "Observability | None" = None,
+        component: str = "adapt",
     ):
         if not 0.0 < latency_tolerance <= 1.0:
             raise ValueError("latency tolerance ρ must lie in (0, 1]")
@@ -109,8 +116,21 @@ class RateAdaptationController:
         self._up_cooldown = 0
         self._estimates = 0
         self._probe_deadline = -1
-        self.adjustments_up = 0
-        self.adjustments_down = 0
+        self._obs = obs
+        self.component = component
+        registry = obs.metrics if obs is not None else MetricsRegistry()
+        self._c_up = registry.counter("adapt.adjustments_up")
+        self._c_down = registry.counter("adapt.adjustments_down")
+
+    @property
+    def adjustments_up(self) -> int:
+        """Adjust-up decisions fired (metrics-registry backed)."""
+        return self._c_up.value
+
+    @property
+    def adjustments_down(self) -> int:
+        """Adjust-down decisions fired (metrics-registry backed)."""
+        return self._c_down.value
 
     @property
     def up_threshold(self) -> float:
@@ -122,7 +142,8 @@ class RateAdaptationController:
         """r below which an adjust-down is indicated: θ/ρ."""
         return self.params.theta / self.rho
 
-    def observe(self, r: float, deadline_missed: bool = False) -> Adjustment:
+    def observe(self, r: float, deadline_missed: bool = False,
+                now_s: float | None = None) -> Adjustment:
         """Feed one estimation of the buffered-segment count ``r``.
 
         Parameters
@@ -136,6 +157,9 @@ class RateAdaptationController:
             simply too slow; the paper's stated goal — "a game video can
             reduce video quality in order to reach its latency
             requirement" (§III-B) — needs this second trigger.
+        now_s:
+            Sim time of the estimation, used only to timestamp trace
+            events (decisions are not traced when omitted).
 
         Returns the debounced adjustment decision. Streak counters reset
         after a decision fires (a fresh run of agreeing estimates is
@@ -173,18 +197,27 @@ class RateAdaptationController:
         if self._miss_streak >= self.params.hysteresis:
             self._miss_streak = 0
             self._down_streak = 0
-            self.adjustments_down += 1
+            self._c_down.inc()
+            self._trace_decision("down", r, now_s)
             return Adjustment.DOWN
         if self._up_streak >= self.params.up_hysteresis:
             self._up_streak = 0
-            self.adjustments_up += 1
+            self._c_up.inc()
             self._probe_deadline = self._estimates + self.params.probe_window
+            self._trace_decision("up", r, now_s)
             return Adjustment.UP
         if self._down_streak >= self.params.hysteresis:
             self._down_streak = 0
-            self.adjustments_down += 1
+            self._c_down.inc()
+            self._trace_decision("down", r, now_s)
             return Adjustment.DOWN
         return Adjustment.NONE
+
+    def _trace_decision(self, direction: str, r: float,
+                        now_s: float | None) -> None:
+        if self._obs is not None and now_s is not None:
+            self._obs.emit(now_s, self.component, "adapt.decision",
+                           direction=direction, r=r)
 
     def reset(self) -> None:
         """Clear streaks (e.g. after a level change took effect)."""

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+import repro.obs as obs_mod
 from repro.core.adaptation import AdaptationParams
 from repro.core.assignment import AssignmentParams, SupernodeAssignment
 from repro.core.cloud import (
@@ -176,12 +177,23 @@ class GamingSession:
         online_player_ids: np.ndarray,
         config: SessionConfig | None = None,
         edge_server_host_ids: Optional[np.ndarray] = None,
+        obs: "obs_mod.Observability | None" = None,
     ):
         self.population = population
         self.variant = variant
         self.config = config or SessionConfig()
         self.online_ids = np.asarray(online_player_ids, dtype=int)
+        #: Telemetry context: the explicit argument wins, else whatever
+        #: the experiment driver installed via ``repro.obs.use(...)``.
+        self.obs = obs if obs is not None else obs_mod.current()
         self.env = Environment()
+        if self.obs is not None:
+            obs_mod.attach_kernel_probes(self.env, self.obs)
+            # Reset per-run invariant state (checkers may span several
+            # back-to-back sessions in one recorder) and fence the trace.
+            self.obs.emit(self.env.now, "session", "session.start",
+                          variant=variant.value,
+                          n_players=int(self.online_ids.size))
         self.cloud = CloudCoordinator(
             self.env,
             population.datacenter_ids,
@@ -225,6 +237,7 @@ class GamingSession:
             render_delay_s=cfg.render_delay_s,
             use_deadline_scheduling=self.variant.uses_scheduling,
             scheduling_params=cfg.scheduling,
+            obs=self.obs,
         )
         if kind == "supernode":
             player_idx = self._host_to_player_idx(host_id)
@@ -319,6 +332,7 @@ class GamingSession:
                 use_adaptation=self.variant.uses_adaptation,
                 adaptation_params=cfg.adaptation,
                 stats_after_s=cfg.warmup_s,
+                obs=self.obs,
             )
             server.attach_player(pid, encoder, endpoint.deliver,
                                  downstream_s, path_rate)
@@ -419,8 +433,10 @@ def simulate_sessions(
     online_player_ids: np.ndarray,
     config: SessionConfig | None = None,
     edge_server_host_ids: Optional[np.ndarray] = None,
+    obs: "obs_mod.Observability | None" = None,
 ) -> SessionResult:
     """Build and run one session simulation (Figures 7–9 driver)."""
     session = GamingSession(
-        population, variant, online_player_ids, config, edge_server_host_ids)
+        population, variant, online_player_ids, config, edge_server_host_ids,
+        obs=obs)
     return session.run()

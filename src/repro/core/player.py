@@ -8,7 +8,7 @@ to the serving server's encoder.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.adaptation import (
     AdaptationParams,
@@ -21,6 +21,9 @@ from repro.sim.engine import Environment
 from repro.streaming.playback import PlaybackBuffer
 from repro.streaming.video import SEGMENT_DURATION_S
 from repro.workload.games import Game
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class PlayerEndpoint:
@@ -54,6 +57,7 @@ class PlayerEndpoint:
         use_adaptation: bool = False,
         adaptation_params: AdaptationParams | None = None,
         stats_after_s: float = 0.0,
+        obs: "Observability | None" = None,
     ):
         self.env = env
         self.player_id = player_id
@@ -65,11 +69,16 @@ class PlayerEndpoint:
         #: reported steady state is not polluted by the convergence
         #: transient (the paper's sessions run for hours).
         self.stats_after_s = stats_after_s
-        self.playback = PlaybackBuffer(segment_duration_s=SEGMENT_DURATION_S)
+        self._obs = obs
+        self.component = f"player:{player_id}"
+        self.playback = PlaybackBuffer(
+            segment_duration_s=SEGMENT_DURATION_S,
+            obs=obs, component=self.component)
         self.controller: Optional[RateAdaptationController] = None
         if use_adaptation:
             self.controller = RateAdaptationController(
-                game.latency_tolerance, adaptation_params)
+                game.latency_tolerance, adaptation_params,
+                obs=obs, component=self.component)
         #: Pending feedback in flight (debounces duplicate requests).
         self._feedback_pending = False
 
@@ -79,14 +88,15 @@ class PlayerEndpoint:
         in_window = segment.action_time_s >= self.stats_after_s
         if segment.remaining_packets == 0:
             if in_window:
-                self.playback.on_segment_lost(segment)
+                self.playback.on_segment_lost(segment, now_s)
             return
         if in_window:
             self.playback.on_segment_arrival(segment, now_s)
         if self.controller is not None:
             r = self.playback.buffered_segments(now_s)
             missed = now_s > segment.deadline_s + 1e-12
-            decision = self.controller.observe(r, deadline_missed=missed)
+            decision = self.controller.observe(
+                r, deadline_missed=missed, now_s=now_s)
             if decision is not Adjustment.NONE:
                 self._send_feedback(decision)
 
@@ -105,6 +115,11 @@ class PlayerEndpoint:
                 encoder.adjust_up()
             else:
                 encoder.adjust_down()
+            if self._obs is not None:
+                self._obs.emit(
+                    self.env.now, self.component, "encoder.level",
+                    level=encoder.level, direction=(
+                        "up" if decision is Adjustment.UP else "down"))
             if self.controller is not None:
                 self.controller.reset()
 

@@ -27,10 +27,16 @@ from __future__ import annotations
 import bisect
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from itertools import islice
+from typing import TYPE_CHECKING, Optional
 
 from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,14 +86,14 @@ class PropagationEstimator:
         if window < 1:
             raise ValueError("window must be at least 1")
         self.window = window
-        self._samples: dict[int, list[float]] = {}
+        self._samples: dict[int, deque[float]] = {}
 
     def record(self, player_id: int, propagation_s: float) -> None:
         """Record one observed packet propagation delay."""
-        samples = self._samples.setdefault(player_id, [])
+        samples = self._samples.get(player_id)
+        if samples is None:
+            samples = self._samples[player_id] = deque(maxlen=self.window)
         samples.append(propagation_s)
-        if len(samples) > self.window:
-            samples.pop(0)
 
     def estimate(self, player_id: int, default_s: float = 0.0) -> float:
         """l_p estimate for a player (``default_s`` before any sample)."""
@@ -122,12 +128,18 @@ class DeadlineSenderBuffer:
         Scheduler constants.
     """
 
+    #: Compact the consumed list prefix once it reaches this length *and*
+    #: outweighs the live tail (amortized O(1) per dequeue).
+    _COMPACT_THRESHOLD = 64
+
     def __init__(
         self,
         uplink_rate_bps: float,
         server_receive_delay_s: float = 0.0,
         render_delay_s: float = 0.0,
         params: SchedulingParams | None = None,
+        obs: "Observability | None" = None,
+        component: str = "sched",
     ):
         if uplink_rate_bps <= 0:
             raise ValueError("uplink rate must be positive")
@@ -139,15 +151,57 @@ class DeadlineSenderBuffer:
         # Kept sorted by (deadline, seq) via bisect: the queue is read
         # in order on every enqueue (Eq. 12's l_q and the Eq. 14 chain),
         # so a sorted list beats a heap that would need re-sorting.
+        # Consumed entries stay before ``_head`` until compaction, so
+        # dequeue is O(1) instead of ``list.pop(0)``'s O(n).
         self._queue: list[_QueueEntry] = []
+        self._head = 0
         self._seq = itertools.count()
-        self.enqueued = 0
-        self.dequeued = 0
-        self.packets_dropped = 0
-        self.segments_fully_dropped = 0
+        self._obs = obs
+        self.component = component
+        registry = obs.metrics if obs is not None else MetricsRegistry()
+        self._c_enqueued = registry.counter("sender.segments_enqueued")
+        self._c_dequeued = registry.counter("sender.segments_dequeued")
+        self._c_packets_dropped = registry.counter("sender.packets_dropped")
+        self._c_segments_fully_dropped = registry.counter(
+            "sender.segments_fully_dropped")
+        self._g_queue_len = registry.gauge("sender.queue_len")
+        # Packet-conservation ledger (the invariant the
+        # PacketConservationChecker audits): packets that entered at
+        # enqueue == packets handed out at dequeue + packets dropped
+        # + packets still pending.
+        self._p_in = 0
+        self._p_out = 0
+        self._p_pend = 0
+        # Latest clock value observed through enqueue/dequeue, used to
+        # timestamp trace events when the caller omits ``now_s``.
+        self._last_now = 0.0
+
+    # -- legacy counter views ------------------------------------------------
+    @property
+    def enqueued(self) -> int:
+        """Segments accepted into the buffer (metrics-registry backed)."""
+        return self._c_enqueued.value
+
+    @property
+    def dequeued(self) -> int:
+        """Segments handed to the sender (metrics-registry backed)."""
+        return self._c_dequeued.value
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets dropped by Eq. 14 rebalancing and expiry."""
+        return self._c_packets_dropped.value
+
+    @property
+    def segments_fully_dropped(self) -> int:
+        """Segments reduced to zero packets (expired or fully dropped)."""
+        return self._c_segments_fully_dropped.value
+
+    def _live_entries(self):
+        return islice(self._queue, self._head, None)
 
     def __len__(self) -> int:
-        return sum(1 for e in self._queue if not e.dropped_whole)
+        return sum(1 for e in self._live_entries() if not e.dropped_whole)
 
     @property
     def sigma_s(self) -> float:
@@ -160,7 +214,7 @@ class DeadlineSenderBuffer:
     def backlog_bytes(self) -> float:
         """Bytes awaiting transmission."""
         return float(sum(
-            e.segment.remaining_bytes for e in self._queue
+            e.segment.remaining_bytes for e in self._live_entries()
             if not e.dropped_whole))
 
     # -- queue discipline ---------------------------------------------------
@@ -175,12 +229,26 @@ class DeadlineSenderBuffer:
         checks the new segment against its predecessors).
         """
         segment.enqueued_at_s = now_s
+        self._last_now = now_s
         entry = _QueueEntry(segment.deadline_s, next(self._seq), segment)
-        bisect.insort(self._queue, entry)
-        self.enqueued += 1
+        bisect.insort(self._queue, entry, lo=self._head)
+        self._c_enqueued.inc()
+        packets = segment.remaining_packets
+        self._p_in += packets
+        self._p_pend += packets
+        self._g_queue_len.set(len(self._queue) - self._head)
+        if self._obs is not None:
+            self._obs.emit(
+                now_s, self.component, "buffer.enqueue",
+                disc="edf", player=segment.player_id,
+                deadline=segment.deadline_s, packets=packets,
+                qlen=len(self._queue) - self._head,
+                p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
         self._rebalance(entry, now_s)
 
-    def dequeue(self, now_s: Optional[float] = None) -> Optional[VideoSegment]:
+    def dequeue(self, now_s: Optional[float] = None, *,
+                expire: Optional[bool] = None) -> Optional[VideoSegment]:
         """Pop the earliest-deadline segment, expiring hopeless ones.
 
         With ``now_s`` given, a segment whose estimated delivery
@@ -190,31 +258,83 @@ class DeadlineSenderBuffer:
         on-time segments need. Fully-dropped segments
         (``remaining_packets == 0``) are still returned so the caller can
         account them as lost to the player's QoE stats.
+
+        ``expire=False`` takes the clock (for trace timestamps) without
+        the expiry pass — for callers that run their own route-aware
+        expiry (see :meth:`note_expired`). Default: expire iff ``now_s``
+        is given.
         """
-        while self._queue:
-            entry = self._queue.pop(0)
-            self.dequeued += 1
-            segment = entry.segment
-            if now_s is not None and segment.remaining_packets > 0:
-                l_t = 8.0 * segment.remaining_bytes / self.uplink_rate_bps
-                l_p = self.propagation.estimate(segment.player_id)
-                if now_s + l_t + l_p > segment.deadline_s + 1e-12:
-                    expired = segment.drop_all()
-                    self.packets_dropped += expired
-                    self.segments_fully_dropped += 1
-            return segment
-        return None
+        if expire is None:
+            expire = now_s is not None
+        if self._head >= len(self._queue):
+            return None
+        entry = self._queue[self._head]
+        self._head += 1
+        if (self._head >= self._COMPACT_THRESHOLD
+                and self._head * 2 >= len(self._queue)):
+            del self._queue[:self._head]
+            self._head = 0
+        self._c_dequeued.inc()
+        if now_s is not None:
+            self._last_now = now_s
+        segment = entry.segment
+        self._p_pend -= segment.remaining_packets
+        expired = 0
+        if expire and now_s is not None and segment.remaining_packets > 0:
+            l_t = 8.0 * segment.remaining_bytes / self.uplink_rate_bps
+            l_p = self.propagation.estimate(segment.player_id)
+            if now_s + l_t + l_p > segment.deadline_s + 1e-12:
+                expired = segment.drop_all()
+                self._c_packets_dropped.inc(expired)
+                self._c_segments_fully_dropped.inc()
+        self._p_out += segment.remaining_packets
+        self._g_queue_len.set(len(self._queue) - self._head)
+        if self._obs is not None:
+            self._obs.emit(
+                self._last_now, self.component, "buffer.dequeue",
+                disc="edf", player=segment.player_id,
+                deadline=entry.deadline_s,
+                packets=segment.remaining_packets, expired=expired,
+                qlen=len(self._queue) - self._head,
+                p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
+        return segment
 
     def peek(self) -> Optional[VideoSegment]:
         """Earliest-deadline live segment, without removing it."""
-        for entry in self._queue:
+        for entry in self._live_entries():
             if not entry.dropped_whole:
                 return entry.segment
         return None
 
     def iter_pending(self):
         """Queued segments in send (deadline) order."""
-        return (e.segment for e in self._queue if not e.dropped_whole)
+        return (e.segment for e in self._live_entries()
+                if not e.dropped_whole)
+
+    def note_expired(self, segment: VideoSegment, n_packets: int,
+                     now_s: float | None = None) -> None:
+        """Account packets a caller expired *after* dequeueing.
+
+        The server expires hopeless segments post-dequeue (it knows the
+        full route); this moves those packets from the delivered to the
+        dropped column so the conservation ledger and the public counters
+        stay truthful.
+        """
+        if n_packets <= 0:
+            return
+        if now_s is not None:
+            self._last_now = now_s
+        self._c_packets_dropped.inc(n_packets)
+        self._c_segments_fully_dropped.inc()
+        self._p_out -= n_packets
+        if self._obs is not None:
+            self._obs.emit(
+                self._last_now, self.component, "buffer.drop",
+                disc="edf", reason="post_dequeue", packets=n_packets,
+                player=segment.player_id,
+                p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
 
     def preceding_bytes(self, segment: VideoSegment) -> float:
         """np_i — bytes of segments ahead of ``segment`` in send order."""
@@ -327,7 +447,15 @@ class DeadlineSenderBuffer:
                         break
             if not progressed:
                 break
-        self.packets_dropped += total_dropped
+        self._c_packets_dropped.inc(total_dropped)
+        self._p_pend -= total_dropped
+        if total_dropped and self._obs is not None:
+            self._obs.emit(
+                now_s, self.component, "buffer.drop",
+                disc="edf", reason="rebalance", packets=total_dropped,
+                player=trigger.player_id,
+                p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
         # Segments reduced to nothing will never reach the player.
         for seg in chain:
             if seg.remaining_packets == 0:
@@ -335,8 +463,8 @@ class DeadlineSenderBuffer:
         return total_dropped
 
     def _mark_whole_drop(self, segment: VideoSegment) -> None:
-        for entry in self._queue:
+        for entry in self._live_entries():
             if entry.segment is segment and not entry.dropped_whole:
                 entry.dropped_whole = True
-                self.segments_fully_dropped += 1
+                self._c_segments_fully_dropped.inc()
                 return

@@ -12,14 +12,18 @@ cloud gaming baseline. The differences between system variants reduce to
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
 from repro.network.packet import VideoSegment
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.streaming.encoder import SegmentEncoder
 from repro.streaming.sender_buffer import FifoSenderBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: Deliver callback signature: (segment, arrival_time_s) -> None.
 DeliverFn = Callable[[VideoSegment, float], None]
@@ -56,6 +60,7 @@ class StreamingServer:
         use_deadline_scheduling: bool = False,
         server_receive_delay_s: float = 0.0,
         scheduling_params: SchedulingParams | None = None,
+        obs: "Observability | None" = None,
     ):
         if uplink_rate_bps <= 0:
             raise ValueError("uplink rate must be positive")
@@ -64,23 +69,39 @@ class StreamingServer:
         self.uplink_rate_bps = uplink_rate_bps
         self.render_delay_s = render_delay_s
         self.use_deadline_scheduling = use_deadline_scheduling
+        self._obs = obs
+        self.component = f"server:{host_id}"
         if use_deadline_scheduling:
             self.buffer = DeadlineSenderBuffer(
                 uplink_rate_bps,
                 server_receive_delay_s=server_receive_delay_s,
                 render_delay_s=render_delay_s,
                 params=scheduling_params,
+                obs=obs,
+                component=self.component,
             )
         else:
-            self.buffer = FifoSenderBuffer()
+            self.buffer = FifoSenderBuffer(
+                obs=obs, component=self.component)
         #: encoders keyed by player id.
         self.encoders: dict[int, SegmentEncoder] = {}
         #: per-player delivery callbacks and propagation delays.
         self._routes: dict[int, tuple[DeliverFn, float]] = {}
-        self.bytes_sent = 0.0
-        self.segments_sent = 0
+        registry = obs.metrics if obs is not None else MetricsRegistry()
+        self._c_bytes_sent = registry.counter("server.bytes_sent")
+        self._c_segments_sent = registry.counter("server.segments_sent")
         self._wake: Optional[Event] = None
         self._proc = env.process(self._sender_loop())
+
+    @property
+    def bytes_sent(self) -> float:
+        """Bytes serialized onto the uplink (metrics-registry backed)."""
+        return self._c_bytes_sent.value
+
+    @property
+    def segments_sent(self) -> int:
+        """Segments serialized onto the uplink."""
+        return self._c_segments_sent.value
 
     # -- player management ---------------------------------------------------
     def attach_player(
@@ -151,7 +172,7 @@ class StreamingServer:
             # Expiry is done here, not in the buffer: the server knows the
             # exact route (uplink rate, path rate, propagation), so only
             # truly hopeless segments get expired.
-            segment = self.buffer.dequeue()
+            segment = self.buffer.dequeue(self.env.now, expire=False)
             if segment is None:
                 self._wake = self.env.event()
                 yield self._wake
@@ -168,14 +189,19 @@ class StreamingServer:
                         if rate_bps != float("inf") else 0.0)
                 if self.env.now + tx + pipe + prop_s > segment.deadline_s:
                     expired = segment.drop_all()
-                    self.buffer.packets_dropped += expired
-                    self.buffer.segments_fully_dropped += 1
+                    self.buffer.note_expired(
+                        segment, expired, now_s=self.env.now)
 
             size = segment.remaining_bytes
             if size > 0:
                 yield self.env.timeout(8.0 * size / self.uplink_rate_bps)
-                self.bytes_sent += size
-                self.segments_sent += 1
+                self._c_bytes_sent.inc(size)
+                self._c_segments_sent.inc()
+                if self._obs is not None:
+                    self._obs.emit(
+                        self.env.now, self.component, "server.send",
+                        player=segment.player_id, bytes=size,
+                        packets=segment.remaining_packets)
             if route is None:
                 continue  # player left while the segment queued
             deliver, propagation_s, path_rate_bps = route

@@ -42,6 +42,7 @@ class SupernodeServer(StreamingServer):
         server_receive_delay_s: float = 0.0,
         scheduling_params: SchedulingParams | None = None,
         uplink_rate_bps: float | None = None,
+        obs=None,
     ):
         if capacity_slots < 1:
             raise ValueError("a supernode needs at least one slot")
@@ -56,6 +57,7 @@ class SupernodeServer(StreamingServer):
             use_deadline_scheduling=use_deadline_scheduling,
             server_receive_delay_s=server_receive_delay_s,
             scheduling_params=scheduling_params,
+            obs=obs,
         )
         #: Update messages received from the cloud.
         self.updates_received = 0

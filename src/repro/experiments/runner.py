@@ -7,8 +7,9 @@ and returns its series; ``run_all`` iterates over every figure. The CLI
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
+import repro.obs as obs_mod
 from repro.core.infrastructure import SessionConfig, SystemVariant
 from repro.experiments import coverage as cov
 from repro.experiments import bandwidth as bw
@@ -176,17 +177,43 @@ EXPERIMENTS: dict[str, Callable[[float, int], list[FigureSeries]]] = {
 }
 
 
-def run_experiment(
-    name: str, scale: float = 0.1, seed: int = 42
-) -> list[FigureSeries]:
-    """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``."""
-    try:
-        fn = EXPERIMENTS[name]
-    except KeyError:
+def resolve_experiments(name: str) -> list[str]:
+    """Expand ``name`` into experiment keys.
+
+    An exact key resolves to itself; a prefix like ``"fig8"`` resolves to
+    every key it prefixes (``fig8a``, ``fig8b``), so paper figures can be
+    addressed as a whole.
+    """
+    if name in EXPERIMENTS:
+        return [name]
+    matches = sorted(k for k in EXPERIMENTS if k.startswith(name))
+    if not matches:
         raise ValueError(
             f"unknown experiment {name!r}; choose from "
-            f"{sorted(EXPERIMENTS)}") from None
-    return fn(scale, seed)
+            f"{sorted(EXPERIMENTS)}")
+    return matches
+
+
+def run_experiment(
+    name: str, scale: float = 0.1, seed: int = 42,
+    obs: Optional["obs_mod.Observability"] = None,
+) -> list[FigureSeries]:
+    """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``
+    or an unambiguous figure prefix (``"fig8"`` runs fig8a + fig8b).
+
+    With ``obs`` given, it is installed as the run's observability
+    context: every session simulation spawned by the experiment traces
+    into it, its metrics registry collects the run's counters, and any
+    attached invariant checkers validate events live.
+    """
+    keys = resolve_experiments(name)
+    with obs_mod.use(obs):
+        series: list[FigureSeries] = []
+        for key in keys:
+            series.extend(EXPERIMENTS[key](scale, seed))
+    if obs is not None:
+        obs.finish()
+    return series
 
 
 def run_all(scale: float = 0.1, seed: int = 42

@@ -5,10 +5,13 @@ The raw QoE counters live in
 :class:`~repro.core.infrastructure.SessionResult` (per run). This package
 provides the aggregation layer the experiment drivers and benchmarks use:
 figure series containers, summary statistics, and the coverage scan that
-Figures 5 and 6 are built from.
+Figures 5 and 6 are built from. The *runtime* instruments (counters,
+gauges, histograms) live in :mod:`repro.obs.metrics` and are re-exported
+here for convenience.
 """
 
 from repro.metrics.series import FigureSeries, Summary, summarize
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.metrics.coverage import (
     capacity_aware_coverage,
     datacenter_coverage,
@@ -16,7 +19,11 @@ from repro.metrics.coverage import (
 )
 
 __all__ = [
+    "Counter",
     "FigureSeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "Summary",
     "capacity_aware_coverage",
     "datacenter_coverage",

@@ -1,0 +1,195 @@
+"""Metrics instruments and the per-run registry.
+
+Three instrument kinds, in the Prometheus mold but sized for a simulator:
+
+``Counter``
+    Monotonically increasing total (segments enqueued, packets dropped).
+``Gauge``
+    A sampled level (sender queue length, buffered video seconds).
+``Histogram``
+    Distribution over fixed bucket bounds (response latency per segment).
+
+Components create their instruments through a :class:`MetricsRegistry`.
+Several instances may register the *same* name (one sender buffer per
+supernode, say); :meth:`MetricsRegistry.snapshot` aggregates duplicates —
+counters sum, gauges keep the last written value, histograms merge — so a
+run exports one number series per metric regardless of how many servers
+the session spun up. Each instance still holds its own instrument object,
+which is what keeps the legacy per-object counters
+(``DeadlineSenderBuffer.packets_dropped`` & co.) readable per buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+#: Default histogram bucket upper bounds (seconds-flavoured; callers with
+#: other units pass their own bounds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0, 2.5)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A sampled level that can move both ways."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with sum/count/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        # One bucket per bound plus the +inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram (same bounds)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class MetricsRegistry:
+    """Factory and collector for a run's instruments.
+
+    The registry does not enforce name uniqueness: every component
+    registers its own instrument objects, and aggregation across
+    same-named instruments happens at snapshot time.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: list[Counter | Gauge | Histogram] = []
+
+    def counter(self, name: str) -> Counter:
+        c = Counter(name)
+        self._instruments.append(c)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = Gauge(name)
+        self._instruments.append(g)
+        return g
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        h = Histogram(name, bounds)
+        self._instruments.append(h)
+        return h
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Aggregate every instrument into ``{name: {kind, ...}}``.
+
+        Counters with the same name sum; gauges keep the last-registered
+        instrument's value; histograms merge bucket-wise.
+        """
+        out: dict[str, dict] = {}
+        merged_hists: dict[str, Histogram] = {}
+        for inst in self._instruments:
+            if isinstance(inst, Counter):
+                slot = out.setdefault(
+                    inst.name, {"kind": "counter", "value": 0})
+                slot["value"] += inst.value
+            elif isinstance(inst, Gauge):
+                out[inst.name] = {"kind": "gauge", "value": inst.value}
+            else:
+                acc = merged_hists.get(inst.name)
+                if acc is None:
+                    acc = Histogram(inst.name, inst.bounds)
+                    merged_hists[inst.name] = acc
+                acc.merge(inst)
+        for name, h in merged_hists.items():
+            out[name] = {
+                "kind": "histogram",
+                "count": h.count,
+                "sum": h.sum,
+                "mean": h.mean,
+                "min": h.min if h.count else None,
+                "max": h.max if h.count else None,
+                "bounds": list(h.bounds),
+                "buckets": list(h.bucket_counts),
+            }
+        return out
+
+
+def null_registry() -> MetricsRegistry:
+    """A fresh private registry for components run without observability."""
+    return MetricsRegistry()

@@ -1,0 +1,55 @@
+"""Kernel probes: wire an :class:`~repro.sim.engine.Environment` into obs.
+
+The sim kernel exposes two hook lists — ``on_schedule`` and ``on_step`` —
+that are empty by default, and an unprobed environment runs the
+uninstrumented ``schedule``/``step`` (zero overhead — the instrumented
+versions are swapped in by ``enable_probe_hooks`` at attach time).
+These helpers register hooks that feed an
+:class:`~repro.obs.Observability`: event counters always, and per-event
+trace records when ``trace_kernel`` is requested (that is verbose — a
+session run schedules hundreds of thousands of events — so it is off by
+default and meant for kernel-level determinism tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
+    from repro.sim.engine import Environment
+
+
+def attach_kernel_probes(env: "Environment", obs: "Observability") -> None:
+    """Attach scheduling/step probes for ``env`` to ``obs``.
+
+    Registers metrics counters ``sim.events_scheduled`` and
+    ``sim.events_processed``; with ``obs.trace_kernel`` set (and a trace
+    recorder present) every kernel event is also recorded as a
+    ``sim.schedule`` / ``sim.step`` trace event carrying the event's
+    class name.
+    """
+    scheduled = obs.metrics.counter("sim.events_scheduled")
+    processed = obs.metrics.counter("sim.events_processed")
+    trace = obs.trace if obs.trace_kernel else None
+
+    if trace is None:
+        def on_schedule(now_s, at_s, event):
+            scheduled.inc()
+
+        def on_step(now_s, event):
+            processed.inc()
+    else:
+        def on_schedule(now_s, at_s, event):
+            scheduled.inc()
+            obs.emit(now_s, "kernel", "sim.schedule",
+                     at=at_s, event=type(event).__name__)
+
+        def on_step(now_s, event):
+            processed.inc()
+            obs.emit(now_s, "kernel", "sim.step",
+                     event=type(event).__name__)
+
+    env.on_schedule.append(on_schedule)
+    env.on_step.append(on_step)
+    env.enable_probe_hooks()

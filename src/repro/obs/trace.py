@@ -1,0 +1,127 @@
+"""Structured trace recording with reproducibility digests.
+
+A :class:`TraceRecorder` collects :class:`TraceEvent`\\ s — (sim time,
+component, kind, payload) — in emission order. The canonical JSONL
+serialization is deterministic (sorted payload keys, ``repr``-exact float
+formatting via :func:`json.dumps`), so the SHA-256 of the serialized
+stream is a *run fingerprint*: two runs of the simulator with the same
+seed must produce byte-identical digests, and any PR that silently changes
+scheduling order, drop accounting or clock behaviour changes the digest.
+
+Payloads must stay JSON-serializable and must not contain process-global
+identifiers (``id()``, global sequence counters shared across runs):
+those would break the same-seed ⇒ same-digest property the regression
+tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, TextIO
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured telemetry event."""
+
+    #: Simulation time the event was emitted at.
+    t: float
+    #: Emitting component, e.g. ``"server:12"`` or ``"player:7"``.
+    component: str
+    #: Event kind, e.g. ``"buffer.enqueue"`` or ``"playback.stall"``.
+    kind: str
+    #: Structured payload (JSON-serializable scalars).
+    data: dict[str, Any]
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON form (digest input)."""
+        return json.dumps(
+            {"t": self.t, "component": self.component, "kind": self.kind,
+             "data": self.data},
+            sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        obj = json.loads(line)
+        return cls(t=obj["t"], component=obj["component"],
+                   kind=obj["kind"], data=obj.get("data", {}))
+
+
+class TraceRecorder:
+    """Collects trace events and fingerprints the stream.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with every event as it is emitted
+        (live invariant checking hooks in here via
+        :class:`~repro.obs.Observability`, not via the recorder).
+    max_events:
+        Safety valve: raise once this many events have been recorded
+        (``None`` = unbounded). Protects long experiment sweeps from
+        accidentally tracing themselves out of memory.
+    """
+
+    def __init__(self, sink: Optional[Callable[[TraceEvent], None]] = None,
+                 max_events: Optional[int] = None):
+        self.events: list[TraceEvent] = []
+        self._sink = sink
+        self._max_events = max_events
+
+    def emit(self, t: float, component: str, kind: str, **data: Any) -> None:
+        """Record one event."""
+        if (self._max_events is not None
+                and len(self.events) >= self._max_events):
+            raise RuntimeError(
+                f"trace exceeded max_events={self._max_events}; "
+                "narrow the probes or raise the limit")
+        event = TraceEvent(t, component, kind, data)
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- serialization ------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """Canonical JSONL lines, in emission order."""
+        for event in self.events:
+            yield event.to_json()
+
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write the trace as JSONL; returns the number of lines."""
+        n = 0
+        for line in self.iter_jsonl():
+            fp.write(line)
+            fp.write("\n")
+            n += 1
+        return n
+
+    def save(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.write_jsonl(fp)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical JSONL stream."""
+        h = hashlib.sha256()
+        for line in self.iter_jsonl():
+            h.update(line.encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+def load_jsonl(lines: Iterable[str]) -> list[TraceEvent]:
+    """Parse JSONL lines back into events (blank lines skipped)."""
+    return [TraceEvent.from_json(line) for line in lines if line.strip()]
+
+
+def load_trace(path: str) -> list[TraceEvent]:
+    """Read a JSONL trace file written by :meth:`TraceRecorder.save`."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_jsonl(fp)

@@ -53,6 +53,16 @@ class Environment:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Probe hooks (see :mod:`repro.obs.probes`). ``on_schedule``
+        #: callbacks receive ``(now_s, at_s, event)`` whenever an event is
+        #: queued; ``on_step`` callbacks receive ``(now_s, event)`` as each
+        #: event is processed. Both lists are empty by default and the
+        #: uninstrumented hot paths never look at them — call
+        #: :meth:`enable_probe_hooks` after appending (probe attachers do
+        #: this) to swap in the instrumented ``schedule``/``step``, so an
+        #: unprobed environment pays nothing at all.
+        self.on_schedule: list = []
+        self.on_step: list = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -72,6 +82,27 @@ class Environment:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _schedule_instrumented(self, event: Event, delay: float = 0.0) -> None:
+        """:meth:`schedule` plus the ``on_schedule`` probe hooks."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        at = self._now + delay
+        heapq.heappush(self._heap, (at, self._seq, event))
+        for hook in self.on_schedule:
+            hook(self._now, at, event)
+
+    def enable_probe_hooks(self) -> None:
+        """Activate the ``on_schedule``/``on_step`` hook lists.
+
+        Swaps the instrumented ``schedule``/``step`` implementations onto
+        this instance. Separating activation from the hook lists keeps
+        the unprobed hot paths byte-identical to the uninstrumented
+        kernel (zero overhead, not merely a cheap check). Idempotent.
+        """
+        self.schedule = self._schedule_instrumented  # type: ignore[method-assign]
+        self.step = self._step_instrumented  # type: ignore[method-assign]
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -104,6 +135,23 @@ class Environment:
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         self._now, _, event = heapq.heappop(self._heap)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            self._raise_uncaught(event._value)
+
+    def _step_instrumented(self) -> None:
+        """:meth:`step` plus the ``on_step`` probe hooks."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        self._now, _, event = heapq.heappop(self._heap)
+        for hook in self.on_step:
+            hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:

@@ -15,8 +15,12 @@ adaptation consumes: the buffered-video size ``s(t_k)`` and segment count
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.network.packet import VideoSegment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: Fraction of packets that must arrive within the latency requirement for
 #: a player to count as satisfied (paper §IV).
@@ -109,11 +113,20 @@ class PlaybackBuffer:
 
     segment_duration_s: float
     stats: PlaybackStats = field(default_factory=PlaybackStats)
+    obs: "Optional[Observability]" = None
+    component: str = "playback"
     _buffered_video_s: float = 0.0
     _last_drain_s: float = 0.0
     _playing: bool = False
     stall_time_s: float = 0.0
     stall_count: int = 0
+
+    def __post_init__(self) -> None:
+        # Response-latency distribution, exported through the run's
+        # metrics registry when observability is attached.
+        self._hist_latency = (
+            self.obs.metrics.histogram("playback.response_latency_s")
+            if self.obs is not None else None)
 
     def on_segment_arrival(self, segment: VideoSegment, now_s: float) -> None:
         """Account an arriving segment and add its video to the buffer.
@@ -127,6 +140,7 @@ class PlaybackBuffer:
         arrived = segment.remaining_packets
         on_time = arrived if now_s <= segment.deadline_s + 1e-12 else 0
         late = arrived - on_time
+        latency_s = max(0.0, now_s - segment.action_time_s)
         st = self.stats
         st.packets_expected += total
         st.packets_on_time += on_time
@@ -134,7 +148,7 @@ class PlaybackBuffer:
         st.packets_dropped += segment.dropped_packets
         st.segments_received += 1
         st.bytes_received += segment.remaining_bytes
-        st.latency_sum_s += max(0.0, now_s - segment.action_time_s)
+        st.latency_sum_s += latency_s
         st.latency_count += 1
 
         # Only the arrived fraction of the segment is playable video.
@@ -143,11 +157,23 @@ class PlaybackBuffer:
         if not self._playing and self._buffered_video_s > 0:
             self._playing = True
             self._last_drain_s = now_s
+        if self.obs is not None:
+            self._hist_latency.observe(latency_s)
+            self.obs.emit(
+                now_s, self.component, "playback.arrival",
+                buffered_s=self._buffered_video_s, on_time=bool(on_time),
+                packets=arrived, latency_s=latency_s)
 
-    def on_segment_lost(self, segment: VideoSegment) -> None:
+    def on_segment_lost(self, segment: VideoSegment,
+                        now_s: Optional[float] = None) -> None:
         """Account a segment that will never arrive (whole segment lost)."""
         self.stats.packets_expected += segment.total_packets
         self.stats.packets_dropped += segment.total_packets
+        if self.obs is not None:
+            self.obs.emit(
+                now_s if now_s is not None else self._last_drain_s,
+                self.component, "playback.lost",
+                packets=segment.total_packets)
 
     def _drain(self, now_s: float) -> None:
         """Advance playback to ``now_s``, consuming buffered video."""
@@ -163,6 +189,9 @@ class PlaybackBuffer:
                 self.stall_time_s += stall
                 if self._buffered_video_s > 0:
                     self.stall_count += 1
+                if self.obs is not None:
+                    self.obs.emit(now_s, self.component, "playback.stall",
+                                  stall_s=stall)
             self._buffered_video_s = 0.0
         else:
             self._buffered_video_s -= elapsed

@@ -8,9 +8,14 @@ serializes them, however late that makes them.
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from typing import TYPE_CHECKING, Optional
 
 from repro.network.packet import VideoSegment
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class FifoSenderBuffer:
@@ -21,10 +26,30 @@ class FifoSenderBuffer:
     queue discipline without touching transmission mechanics.
     """
 
-    def __init__(self) -> None:
-        self._queue: list[VideoSegment] = []
-        self.enqueued = 0
-        self.dequeued = 0
+    def __init__(self, obs: "Observability | None" = None,
+                 component: str = "fifo") -> None:
+        self._queue: deque[VideoSegment] = deque()
+        self._obs = obs
+        self.component = component
+        registry = obs.metrics if obs is not None else MetricsRegistry()
+        self._c_enqueued = registry.counter("sender.segments_enqueued")
+        self._c_dequeued = registry.counter("sender.segments_dequeued")
+        self._g_queue_len = registry.gauge("sender.queue_len")
+        # Packet-conservation ledger (audited by the invariant checkers).
+        self._p_in = 0
+        self._p_out = 0
+        self._p_pend = 0
+        self._last_now = 0.0
+
+    @property
+    def enqueued(self) -> int:
+        """Segments accepted into the queue (metrics-registry backed)."""
+        return self._c_enqueued.value
+
+    @property
+    def dequeued(self) -> int:
+        """Segments handed to the sender (metrics-registry backed)."""
+        return self._c_dequeued.value
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -37,20 +62,49 @@ class FifoSenderBuffer:
     def enqueue(self, segment: VideoSegment, now_s: float) -> None:
         """Add ``segment`` to the tail of the queue."""
         segment.enqueued_at_s = now_s
+        self._last_now = now_s
         self._queue.append(segment)
-        self.enqueued += 1
+        self._c_enqueued.inc()
+        packets = segment.remaining_packets
+        self._p_in += packets
+        self._p_pend += packets
+        self._g_queue_len.set(len(self._queue))
+        if self._obs is not None:
+            self._obs.emit(
+                now_s, self.component, "buffer.enqueue",
+                disc="fifo", player=segment.player_id,
+                deadline=segment.deadline_s, packets=packets,
+                qlen=len(self._queue),
+                p_in=self._p_in, p_out=self._p_out, p_drop=0,
+                p_pend=self._p_pend)
 
-    def dequeue(self, now_s: Optional[float] = None) -> Optional[VideoSegment]:
+    def dequeue(self, now_s: Optional[float] = None, *,
+                expire: Optional[bool] = None) -> Optional[VideoSegment]:
         """Remove and return the next segment to send (None if empty).
 
-        ``now_s`` is accepted for interface compatibility with the
-        deadline-driven buffer; the FIFO baseline sends everything in
-        order, however late.
+        ``now_s`` and ``expire`` are accepted for interface compatibility
+        with the deadline-driven buffer; the FIFO baseline sends
+        everything in order, however late.
         """
         if not self._queue:
             return None
-        self.dequeued += 1
-        return self._queue.pop(0)
+        if now_s is not None:
+            self._last_now = now_s
+        segment = self._queue.popleft()
+        self._c_dequeued.inc()
+        packets = segment.remaining_packets
+        self._p_pend -= packets
+        self._p_out += packets
+        self._g_queue_len.set(len(self._queue))
+        if self._obs is not None:
+            self._obs.emit(
+                self._last_now, self.component, "buffer.dequeue",
+                disc="fifo", player=segment.player_id,
+                deadline=segment.deadline_s, packets=packets,
+                qlen=len(self._queue),
+                p_in=self._p_in, p_out=self._p_out, p_drop=0,
+                p_pend=self._p_pend)
+        return segment
 
     def peek(self) -> Optional[VideoSegment]:
         """Next segment to send without removing it."""

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics instruments and registry aggregation."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    null_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_kind(self):
+        assert Counter("x").kind == "counter"
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("q")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_can_go_negative(self):
+        g = Gauge("q")
+        g.dec(3.0)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 1, 1]  # last = +inf overflow
+        assert h.count == 5
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(sum((0.5, 1.5, 1.7, 3.0, 100.0)) / 5)
+
+    def test_boundary_values_land_in_lower_bucket(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(2.0, 1.0))
+
+    def test_merge(self):
+        a = Histogram("lat", bounds=(1.0,))
+        b = Histogram("lat", bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.bucket_counts == [1, 1]
+        assert a.min == 0.5 and a.max == 2.0
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("lat", bounds=(1.0,))
+        b = Histogram("lat", bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_duplicate_counters_sum_in_snapshot(self):
+        reg = MetricsRegistry()
+        # One instrument per component instance, aggregated per run —
+        # exactly how every per-server sender buffer registers.
+        a = reg.counter("sender.packets_dropped")
+        b = reg.counter("sender.packets_dropped")
+        a.inc(3)
+        b.inc(4)
+        snap = reg.snapshot()
+        assert snap["sender.packets_dropped"] == {
+            "kind": "counter", "value": 7}
+
+    def test_gauges_keep_last_instrument_value(self):
+        reg = MetricsRegistry()
+        g1 = reg.gauge("qlen")
+        g2 = reg.gauge("qlen")
+        g1.set(5)
+        g2.set(9)
+        assert reg.snapshot()["qlen"]["value"] == 9
+
+    def test_histograms_merge_in_snapshot(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("lat", bounds=(1.0,))
+        h2 = reg.histogram("lat", bounds=(1.0,))
+        h1.observe(0.5)
+        h2.observe(3.0)
+        entry = reg.snapshot()["lat"]
+        assert entry["kind"] == "histogram"
+        assert entry["count"] == 2
+        assert entry["buckets"] == [1, 1]
+        assert entry["min"] == 0.5 and entry["max"] == 3.0
+
+    def test_empty_histogram_snapshot_has_null_extrema(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        entry = reg.snapshot()["lat"]
+        assert entry["count"] == 0
+        assert entry["min"] is None and entry["max"] is None
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_null_registry_is_fresh(self):
+        assert len(null_registry()) == 0

@@ -1,0 +1,78 @@
+"""Unit tests for the trace recorder: canonical JSONL and digests."""
+
+import pytest
+
+from repro.obs.trace import TraceEvent, TraceRecorder, load_jsonl, load_trace
+
+
+def make_recorder(events):
+    rec = TraceRecorder()
+    for t, comp, kind, data in events:
+        rec.emit(t, comp, kind, **data)
+    return rec
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        ev = TraceEvent(1.5, "server:3", "buffer.enqueue",
+                        {"packets": 8, "deadline": 1.58})
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    def test_canonical_form_sorts_keys(self):
+        a = TraceEvent(0.0, "c", "k", {"b": 1, "a": 2})
+        b = TraceEvent(0.0, "c", "k", {"a": 2, "b": 1})
+        assert a.to_json() == b.to_json()
+
+    def test_canonical_form_has_no_spaces(self):
+        ev = TraceEvent(0.0, "c", "k", {"a": 1})
+        assert " " not in ev.to_json()
+
+
+class TestTraceRecorder:
+    def test_emission_order_preserved(self):
+        rec = make_recorder([
+            (0.0, "a", "k1", {}), (1.0, "b", "k2", {"x": 1})])
+        assert [e.kind for e in rec] == ["k1", "k2"]
+        assert len(rec) == 2
+
+    def test_digest_is_order_sensitive(self):
+        fwd = make_recorder([(0.0, "a", "k", {}), (1.0, "b", "k", {})])
+        rev = make_recorder([(1.0, "b", "k", {}), (0.0, "a", "k", {})])
+        assert fwd.digest() != rev.digest()
+
+    def test_digest_is_payload_sensitive(self):
+        a = make_recorder([(0.0, "a", "k", {"n": 1})])
+        b = make_recorder([(0.0, "a", "k", {"n": 2})])
+        assert a.digest() != b.digest()
+
+    def test_identical_streams_identical_digest(self):
+        events = [(0.0, "a", "k", {"n": 1}), (0.5, "b", "k", {"n": 2})]
+        assert make_recorder(events).digest() == \
+            make_recorder(events).digest()
+
+    def test_sink_sees_every_event(self):
+        seen = []
+        rec = TraceRecorder(sink=seen.append)
+        rec.emit(0.0, "a", "k", n=1)
+        assert seen == [rec.events[0]]
+
+    def test_max_events_safety_valve(self):
+        rec = TraceRecorder(max_events=2)
+        rec.emit(0.0, "a", "k")
+        rec.emit(1.0, "a", "k")
+        with pytest.raises(RuntimeError, match="max_events"):
+            rec.emit(2.0, "a", "k")
+
+    def test_save_load_round_trip(self, tmp_path):
+        rec = make_recorder([
+            (0.0, "server:1", "buffer.enqueue", {"packets": 4}),
+            (0.1, "player:2", "playback.arrival", {"buffered_s": 0.2}),
+        ])
+        path = str(tmp_path / "trace.jsonl")
+        assert rec.save(path) == 2
+        loaded = load_trace(path)
+        assert loaded == rec.events
+
+    def test_load_jsonl_skips_blank_lines(self):
+        lines = [TraceEvent(0.0, "c", "k", {}).to_json(), "", "   "]
+        assert len(load_jsonl(lines)) == 1

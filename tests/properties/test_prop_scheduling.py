@@ -8,6 +8,22 @@ from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
 
 RATE = 8.0 * PACKET_PAYLOAD_BYTES * 200
 
+# An arbitrary interleaving of enqueues and dequeues. Dequeues carry a
+# flag for whether the caller supplies the clock (which arms the
+# buffer's own expiry pass — the path that drops whole segments).
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("enq"),
+            st.tuples(
+                st.integers(1, 40),                      # n_packets
+                st.sampled_from([0.03, 0.05, 0.07, 0.09, 0.11]),
+                st.floats(0.0, 1.0, allow_nan=False),    # loss tolerance
+            )),
+        st.tuples(st.just("deq"), st.booleans()),        # expiry armed?
+    ),
+    min_size=1, max_size=50)
+
 segment_specs = st.lists(
     st.tuples(
         st.integers(1, 40),                      # n_packets
@@ -99,3 +115,98 @@ class TestSchedulerInvariants:
             buf.enqueue(build_segment(i, spec), now_s=0.0)
         preceding = [buf.preceding_bytes(s) for s in buf.iter_pending()]
         assert preceding == sorted(preceding)
+
+
+def run_sequence(ops):
+    """Drive a buffer through ``ops``; the clock ticks per operation."""
+    buf = DeadlineSenderBuffer(RATE)
+    segments = []
+    popped = []
+    for i, (op, arg) in enumerate(ops):
+        now = i * 0.004
+        if op == "enq":
+            n_packets, req, tol = arg
+            seg = VideoSegment(
+                player_id=i, quality_level=1,
+                size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+                duration_s=0.1, action_time_s=now,
+                latency_req_s=req, loss_tolerance=tol)
+            segments.append(seg)
+            buf.enqueue(seg, now_s=now)
+        else:
+            seg = buf.dequeue(now if arg else None)
+            if seg is not None:
+                popped.append(seg)
+    return buf, segments, popped
+
+
+class TestSequenceInvariants:
+    """Drop accounting after *any* interleaved enqueue/dequeue sequence."""
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_dropped_counter_matches_per_segment_drops(self, ops):
+        buf, segments, _ = run_sequence(ops)
+        assert buf.packets_dropped == \
+            sum(s.dropped_packets for s in segments)
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_len_matches_live_entries(self, ops):
+        buf, segments, popped = run_sequence(ops)
+        in_queue = len(segments) - len(popped)
+        live = list(buf.iter_pending())
+        assert len(buf) == len(live) == \
+            sum(1 for s in live if s.remaining_packets > 0)
+        # Fully-dropped entries still occupy queue slots until dequeued,
+        # but never surface as live.
+        assert len(buf) <= in_queue
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_rebalance_drops_never_exceed_max_droppable(self, ops):
+        buf, segments, _ = run_sequence(ops)
+        for seg in segments:
+            assert seg.max_droppable >= 0
+            # Unless the expiry pass gave up on the whole segment, the
+            # Eq. 14 rebalancing stayed inside the loss tolerance.
+            if seg.remaining_packets > 0:
+                assert seg.loss_fraction <= seg.loss_tolerance + 1e-9
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_enqueue_dequeue_counters(self, ops):
+        buf, segments, popped = run_sequence(ops)
+        assert buf.enqueued == len(segments)
+        assert buf.dequeued == len(popped)
+        assert len(buf) + len(popped) <= len(segments)
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_packet_conservation_ledger(self, ops):
+        buf, segments, popped = run_sequence(ops)
+        total_in = sum(s.total_packets for s in segments)
+        dropped = sum(s.dropped_packets for s in segments)
+        delivered = sum(s.remaining_packets for s in popped)
+        pending = sum(s.remaining_packets for s in buf.iter_pending())
+        assert total_in == delivered + dropped + pending
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_backlog_counts_only_live_bytes(self, ops):
+        buf, _, _ = run_sequence(ops)
+        assert buf.backlog_bytes == sum(
+            s.remaining_bytes for s in buf.iter_pending())
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_drain_after_sequence_is_edf_ordered(self, ops):
+        buf, _, _ = run_sequence(ops)
+        deadlines = []
+        while True:
+            seg = buf.dequeue()
+            if seg is None:
+                break
+            deadlines.append(seg.deadline_s)
+        assert deadlines == sorted(deadlines)
+        assert len(buf) == 0
