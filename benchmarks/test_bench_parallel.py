@@ -1,0 +1,65 @@
+"""Benches for the parallel sweep engine and the result cache.
+
+Unlike the figure benches these are *comparative*: each test times two
+configurations of the same workload with ``time.perf_counter`` and
+asserts the engine's headline ratios — ``jobs=4`` at least 2× faster
+than serial for a full ``run_all`` sweep, and a warm-cache re-run under
+10% of the cold time. Both runs also re-check the determinism contract
+(identical series) so a speedup bought by divergence fails loudly.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import run_all
+
+SCALE = float(os.environ.get("CLOUDFOG_BENCH_SCALE", "0.05"))
+SEED = 42
+
+
+def _series_dicts(results):
+    return {name: [s.to_dict() for s in series]
+            for name, series in results.items()}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup bench needs >= 4 CPU cores")
+def test_run_all_parallel_speedup():
+    """run_all at 4 workers must be >= 2x faster than serial."""
+    serial, t_serial = _timed(lambda: run_all(scale=SCALE, seed=SEED))
+    parallel, t_parallel = _timed(
+        lambda: run_all(scale=SCALE, seed=SEED, jobs=4))
+    assert _series_dicts(parallel) == _series_dicts(serial)
+    speedup = t_serial / t_parallel
+    print(f"\nrun_all(scale={SCALE}): serial {t_serial:.2f}s, "
+          f"jobs=4 {t_parallel:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"jobs=4 speedup {speedup:.2f}x < 2x "
+        f"(serial {t_serial:.2f}s, parallel {t_parallel:.2f}s)")
+
+
+def test_warm_cache_run_under_ten_percent_of_cold(tmp_path):
+    """A warm-cache run_all re-run must cost < 10% of the cold run."""
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold, t_cold = _timed(
+        lambda: run_all(scale=SCALE, seed=SEED, cache=cache))
+    warm, t_warm = _timed(
+        lambda: run_all(scale=SCALE, seed=SEED, cache=cache))
+    assert _series_dicts(warm) == _series_dicts(cold)
+    assert cache.hits > 0
+    ratio = t_warm / t_cold
+    print(f"\nrun_all(scale={SCALE}): cold {t_cold:.2f}s, "
+          f"warm {t_warm:.3f}s, ratio {ratio:.1%} "
+          f"({len(cache)} cache entries)")
+    assert ratio < 0.10, (
+        f"warm run took {ratio:.1%} of cold time "
+        f"(cold {t_cold:.2f}s, warm {t_warm:.2f}s)")

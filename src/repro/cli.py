@@ -7,6 +7,11 @@ Examples
     cloudfog fig5a --scale 0.2        # coverage vs datacenters, PeerSim
     cloudfog fig10 --scale 0.3        # rate-adaptation satisfaction sweep
     cloudfog all --scale 0.05         # quick pass over every figure
+    cloudfog all --scale 0.05 --jobs 4 --cache-dir ~/.cache/cloudfog
+                                      # parallel sweep tasks + result
+                                      # cache: warm re-runs are ~free and
+                                      # byte-identical to --jobs 1
+    cloudfog fig8a --json out.json    # stable JSON schema for plotting
     cloudfog ladder                   # print the Figure 2 quality ladder
     cloudfog trace --figure fig8 --out trace.jsonl
                                       # run with telemetry + invariant
@@ -54,8 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=42, help="master RNG seed")
     parser.add_argument(
-        "--json", action="store_true",
-        help="emit series as JSON instead of tables")
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep tasks on N worker processes (0 = all cores); "
+             "results are byte-identical to --jobs 1 (default 1)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed result cache directory; re-runs skip "
+             "sweep points already computed for the same parameters")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (force fresh execution)")
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit series as JSON (stable to_dict schema) to PATH, or "
+             "to stdout when PATH is omitted")
     parser.add_argument(
         "--plot", action="store_true",
         help="render series as ASCII charts instead of tables")
@@ -148,20 +165,33 @@ def main(argv: list[str] | None = None) -> int:
         _print_ladder()
         return 0
 
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from repro.experiments.cache import ResultCache
+        cache = ResultCache(args.cache_dir)
+
     t0 = time.time()
     if args.experiment == "all":
-        results = run_all(scale=args.scale, seed=args.seed)
+        results = run_all(scale=args.scale, seed=args.seed,
+                          jobs=args.jobs, cache=cache)
     else:
         results = {args.experiment: run_experiment(
-            args.experiment, scale=args.scale, seed=args.seed)}
+            args.experiment, scale=args.scale, seed=args.seed,
+            jobs=args.jobs, cache=cache)}
 
-    if args.json:
+    if args.json is not None:
         payload = {
-            name: [s.as_dict() for s in series]
+            name: [s.to_dict() for s in series]
             for name, series in results.items()
         }
-        json.dump(payload, sys.stdout, indent=2)
-        print()
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, indent=2)
+            print(f"wrote {sum(len(v) for v in payload.values())} series "
+                  f"to {args.json}")
     elif args.plot:
         from repro.metrics.ascii_plot import print_chart
         for name, series in results.items():
@@ -170,8 +200,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         for name, series in results.items():
             print_series(series, title=name)
+    if cache is not None:
+        print(f"[cache] {cache.hits} hits, {cache.misses} misses "
+              f"({len(cache)} entries in {cache.root})")
     print(f"\n[{time.time() - t0:.1f}s, scale={args.scale}, "
-          f"seed={args.seed}]")
+          f"seed={args.seed}, jobs={args.jobs}]")
     return 0
 
 

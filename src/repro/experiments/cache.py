@@ -1,0 +1,83 @@
+"""Content-addressed on-disk cache for sweep-task results.
+
+Each :class:`~repro.experiments.api.SweepTask` is addressed by the
+SHA-256 of its canonical cache material — experiment key, task key,
+runner, parameters, scale, seed and the package version — so a cache
+entry can never be served to a run it does not byte-identically belong
+to. Entries live under ``<root>/<digest[:2]>/<digest>.json`` and store
+the task payload plus its metrics snapshot and cold timing, which is
+exactly what the merge step needs; warm re-runs therefore skip the
+simulation entirely and still produce the same series, digest and
+merged metrics as a cold run.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+sharing a cache directory cannot corrupt entries; a torn or unreadable
+entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+
+def material_digest(material: dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``material``."""
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed task-result store with hit/miss accounting."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def get(self, digest: str) -> Optional[dict[str, Any]]:
+        """The stored entry for ``digest``, or ``None`` on a miss."""
+        try:
+            with open(self._path(digest), "r", encoding="utf-8") as fp:
+                entry = json.load(fp)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, digest: str, entry: dict[str, Any]) -> str:
+        """Atomically store ``entry`` under ``digest``; returns the path."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                json.dump(entry, fp, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        n = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            n += sum(1 for f in files if f.endswith(".json"))
+        return n
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root!r} hits={self.hits} "
+                f"misses={self.misses}>")

@@ -23,6 +23,28 @@ from repro.experiments.scenarios import Scenario
 DEFAULT_LATENCY_REQS_S = (0.030, 0.050, 0.070, 0.090, 0.110)
 
 
+def coverage_vs_datacenters_point(
+    scenario: Scenario,
+    n_dc: int,
+    latency_reqs_s: Sequence[float] = DEFAULT_LATENCY_REQS_S,
+) -> list[float]:
+    """One Figure 5(a)/6(a) sweep point: coverage per latency req.
+
+    Task-decomposition entry point: each datacenter count rebuilds its
+    population from the scenario seed alone, so points are independent
+    units for the parallel sweep engine.
+    """
+    if n_dc < 1:
+        raise ValueError("need at least one datacenter")
+    pop = scenario.with_(n_datacenters=int(n_dc), n_supernodes=0,
+                         n_edge_servers=0).build()
+    players = pop.player_host_ids()
+    return [
+        datacenter_coverage(pop.latency, players, pop.datacenter_ids, req)
+        for req in latency_reqs_s
+    ]
+
+
 def coverage_vs_datacenters(
     scenario: Scenario,
     dc_counts: Sequence[int] = (5, 10, 15, 20, 25),
@@ -41,14 +63,8 @@ def coverage_vs_datacenters(
         for req in latency_reqs_s
     ]
     for n_dc in dc_counts:
-        if n_dc < 1:
-            raise ValueError("need at least one datacenter")
-        pop = scenario.with_(n_datacenters=int(n_dc), n_supernodes=0,
-                             n_edge_servers=0).build()
-        players = pop.player_host_ids()
-        for s, req in zip(series, latency_reqs_s):
-            cov = datacenter_coverage(
-                pop.latency, players, pop.datacenter_ids, req)
+        covs = coverage_vs_datacenters_point(scenario, n_dc, latency_reqs_s)
+        for s, cov in zip(series, covs):
             s.add(n_dc, cov)
     return series
 
@@ -73,24 +89,41 @@ def coverage_vs_supernodes(
         for req in latency_reqs_s
     ]
     for n_sn in sn_counts:
-        pop = scenario.with_(n_supernodes=int(n_sn)).build()
-        online = scenario.online_sample(pop)
-        sn_hosts = set(int(h) for h in pop.supernode_host_ids)
-        player_hosts = np.array([
-            pop.players[pid].host_id for pid in online
-            if pop.players[pid].host_id not in sn_hosts
-        ], dtype=int)
-        caps = _supernode_capacities(pop)
-        for s, req in zip(series, latency_reqs_s):
-            if n_sn == 0:
-                cov = datacenter_coverage(
-                    pop.latency, player_hosts, pop.datacenter_ids, req)
-            else:
-                cov = capacity_aware_coverage(
-                    pop.latency, player_hosts, req,
-                    pop.supernode_host_ids, caps, pop.datacenter_ids)
+        covs = coverage_vs_supernodes_point(scenario, n_sn, latency_reqs_s)
+        for s, cov in zip(series, covs):
             s.add(n_sn, cov)
     return series
+
+
+def coverage_vs_supernodes_point(
+    scenario: Scenario,
+    n_sn: int,
+    latency_reqs_s: Sequence[float] = DEFAULT_LATENCY_REQS_S,
+) -> list[float]:
+    """One Figure 5(b)/6(b) sweep point: coverage per latency req.
+
+    Task-decomposition entry point (see
+    :func:`coverage_vs_datacenters_point`).
+    """
+    pop = scenario.with_(n_supernodes=int(n_sn)).build()
+    online = scenario.online_sample(pop)
+    sn_hosts = set(int(h) for h in pop.supernode_host_ids)
+    player_hosts = np.array([
+        pop.players[pid].host_id for pid in online
+        if pop.players[pid].host_id not in sn_hosts
+    ], dtype=int)
+    caps = _supernode_capacities(pop)
+    out = []
+    for req in latency_reqs_s:
+        if n_sn == 0:
+            cov = datacenter_coverage(
+                pop.latency, player_hosts, pop.datacenter_ids, req)
+        else:
+            cov = capacity_aware_coverage(
+                pop.latency, player_hosts, req,
+                pop.supernode_host_ids, caps, pop.datacenter_ids)
+        out.append(cov)
+    return out
 
 
 def _supernode_capacities(pop) -> np.ndarray:

@@ -43,19 +43,35 @@ def update_size_sweep(
     ]
     for n in avatar_counts:
         for s, radius in zip(series, aoi_radii):
-            rng = np.random.default_rng(seed)
-            world = World(rng, n_avatars=int(n))
-            encoder = UpdateEncoder(AreaOfInterest(radius))
-            n_sn = max(1, int(n) // players_per_supernode)
-            sn_players = {
-                k: list(range(k * players_per_supernode,
-                              min((k + 1) * players_per_supernode, int(n))))
-                for k in range(n_sn)
-            }
-            lam = encoder.mean_update_bytes(
-                world, rng, sn_players, n_ticks=n_ticks)
-            s.add(n, lam)
+            s.add(n, update_size_point(
+                int(n), radius, players_per_supernode, n_ticks, seed))
     return series
+
+
+def update_size_point(
+    n_avatars: int,
+    aoi_radius: float,
+    players_per_supernode: int = 20,
+    n_ticks: int = 30,
+    seed: int = 0,
+) -> float:
+    """One update-size sweep point: measured Λ at one (count, radius).
+
+    Task-decomposition entry point: each point seeds its own generator,
+    so points are independent units for the parallel sweep engine. (The
+    partition-balance sweep, by contrast, threads one RNG through all
+    its points and stays a single task.)
+    """
+    rng = np.random.default_rng(seed)
+    world = World(rng, n_avatars=int(n_avatars))
+    encoder = UpdateEncoder(AreaOfInterest(aoi_radius))
+    n_sn = max(1, int(n_avatars) // players_per_supernode)
+    sn_players = {
+        k: list(range(k * players_per_supernode,
+                      min((k + 1) * players_per_supernode, int(n_avatars))))
+        for k in range(n_sn)
+    }
+    return encoder.mean_update_bytes(world, rng, sn_players, n_ticks=n_ticks)
 
 
 def partition_balance_sweep(

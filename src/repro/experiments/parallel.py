@@ -1,0 +1,179 @@
+"""Parallel sweep execution engine with deterministic merging.
+
+:func:`run_spec` executes one experiment's
+:class:`~repro.experiments.api.SweepTask` decomposition either inline
+(``jobs=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``jobs>1``), and merges the per-task payloads **in task order**, never
+completion order. Both paths run every task under its own private
+:class:`~repro.obs.Observability` (fresh metrics registry, plus a fresh
+trace recorder when the parent run traces) and then fold the task's
+telemetry into the parent the same way, so a parallel run is
+byte-identical to a serial one: same series, same
+:class:`~repro.experiments.api.RunResult` digest, same trace digest,
+same merged metrics snapshot.
+
+Randomness: tasks carry no RNG state across the process boundary — each
+task re-derives its substreams from ``(scale, seed, task params)``
+exactly as the serial sweep's points do (populations rebuild from the
+scenario seed; microcosms seed their own registries), which is what
+makes the decomposition sound in the first place.
+
+Caching: with a :class:`~repro.experiments.cache.ResultCache` attached,
+each task is looked up by the SHA-256 of its content-addressed cache
+material before executing and stored after; warm re-runs skip the
+simulation wholesale. Cache *reads* are disabled while an observability
+context is attached, because a cache hit cannot replay the trace events
+the context would have recorded (entries are still written, so a traced
+cold run warms the cache for later untraced runs).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence
+
+import repro.obs as obs_mod
+from repro import __version__
+from repro.experiments.api import (
+    ExperimentSpec,
+    RunResult,
+    SweepTask,
+    TaskResult,
+    now,
+    series_digest,
+)
+from repro.experiments.cache import ResultCache, material_digest
+from repro.obs import Observability, TraceRecorder
+from repro.obs.metrics import MetricsRegistry
+
+
+def execute_task(task: SweepTask, scale: float, seed: int,
+                 capture_trace: bool = False):
+    """Run one task under a private observability context.
+
+    Returns ``(data, metrics_snapshot, events, elapsed_s)`` where
+    ``events`` is a tuple of ``(t, component, kind, data)`` tuples (empty
+    unless ``capture_trace``). This is the process-pool worker: it takes
+    only picklable values and resolves the runner by name from
+    :data:`repro.experiments.specs.TASK_RUNNERS`.
+    """
+    from repro.experiments.specs import TASK_RUNNERS
+    runner = TASK_RUNNERS[task.runner]
+    task_obs = Observability(
+        trace=TraceRecorder() if capture_trace else None)
+    t0 = now()
+    with obs_mod.use(task_obs):
+        data = runner(scale, seed, task.params)
+    elapsed = now() - t0
+    events = (tuple((e.t, e.component, e.kind, e.data)
+                    for e in task_obs.trace.events)
+              if capture_trace else ())
+    return data, task_obs.metrics.snapshot(), events, elapsed
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request (``None``/``0`` = all cores)."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return int(jobs)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    scale: float = 0.1,
+    seed: int = 42,
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    obs: Optional[Observability] = None,
+) -> RunResult:
+    """Execute one experiment spec and merge its tasks deterministically."""
+    t_run = now()
+    jobs = resolve_jobs(jobs)
+    tasks = spec.decompose(scale, seed)
+    keys = [t.key for t in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"{spec.name}: duplicate task keys in decompose")
+
+    # Trace/checker replay needs the task's event stream; a metrics-only
+    # or absent context does not.
+    capture = obs is not None and (obs.trace is not None
+                                   or bool(obs.checkers))
+    read_cache = cache is not None and obs is None
+
+    digests: list[Optional[str]] = [None] * len(tasks)
+    results: list[Optional[TaskResult]] = [None] * len(tasks)
+    todo: list[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            digests[i] = material_digest(
+                task.cache_material(scale, seed, __version__))
+        entry = cache.get(digests[i]) if read_cache else None
+        if entry is not None:
+            results[i] = TaskResult(task, entry["data"],
+                                    metrics=entry.get("metrics", {}),
+                                    cached=True)
+        else:
+            todo.append(i)
+
+    if jobs > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = [
+                (i, pool.submit(execute_task, tasks[i], scale, seed, capture))
+                for i in todo
+            ]
+            for i, future in futures:
+                data, metrics, events, elapsed = future.result()
+                results[i] = TaskResult(tasks[i], data, metrics, events,
+                                        elapsed)
+    else:
+        for i in todo:
+            data, metrics, events, elapsed = execute_task(
+                tasks[i], scale, seed, capture)
+            results[i] = TaskResult(tasks[i], data, metrics, events, elapsed)
+
+    if cache is not None:
+        for i in todo:
+            r = results[i]
+            cache.put(digests[i], {"data": r.data, "metrics": r.metrics,
+                                   "elapsed_s": r.elapsed_s})
+
+    # Deterministic absorption: task order, regardless of worker count.
+    merged = MetricsRegistry()
+    for r in results:
+        if obs is not None:
+            for (t, component, kind, data) in r.events:
+                obs.emit(t, component, kind, **data)
+            if r.metrics:
+                obs.metrics.absorb_snapshot(r.metrics)
+        if r.metrics:
+            merged.absorb_snapshot(r.metrics)
+
+    series = spec.merge(scale, seed, [(r.task.key, r.data) for r in results])
+    return RunResult(
+        name=spec.name,
+        series=series,
+        metrics=merged.snapshot(),
+        digest=series_digest(series),
+        elapsed_s=now() - t_run,
+        tasks_total=len(tasks),
+        tasks_cached=sum(1 for r in results if r.cached),
+    )
+
+
+def run_named(
+    name: str,
+    scale: float = 0.1,
+    seed: int = 42,
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    obs: Optional[Observability] = None,
+) -> RunResult:
+    """:func:`run_spec` by exact experiment key."""
+    from repro.experiments.specs import get_spec
+    return run_spec(get_spec(name), scale, seed, jobs=jobs, cache=cache,
+                    obs=obs)

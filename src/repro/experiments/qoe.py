@@ -47,6 +47,33 @@ def run_variant(
         edge_server_host_ids=pop.edge_server_host_ids)
 
 
+def latency_point(
+    scenario: Scenario,
+    variant: SystemVariant,
+    n_online: int | None = None,
+    config: SessionConfig | None = None,
+) -> float:
+    """One Figure 8 sweep point: a variant's mean response latency (ms).
+
+    Task-decomposition entry point: every variant rebuilds its
+    population from the scenario seed, so variants are independent
+    units for the parallel sweep engine.
+    """
+    result = run_variant(scenario, variant, n_online, config)
+    return result.mean_latency_s * 1000.0
+
+
+def continuity_point(
+    scenario: Scenario,
+    n_players: int,
+    variant: SystemVariant,
+    config: SessionConfig | None = None,
+) -> float:
+    """One Figure 9 sweep point: mean continuity at one (count, variant)."""
+    result = run_variant(scenario, variant, int(n_players), config)
+    return result.mean_continuity
+
+
 def latency_by_system(
     scenario: Scenario,
     variants: Sequence[SystemVariant] = ALL_SYSTEMS,
@@ -64,8 +91,7 @@ def latency_by_system(
         y_label="avg response latency (ms)",
     )
     for i, variant in enumerate(variants):
-        result = run_variant(scenario, variant, n_online, config)
-        series.add(i, result.mean_latency_s * 1000.0)
+        series.add(i, latency_point(scenario, variant, n_online, config))
     return series
 
 
@@ -83,8 +109,7 @@ def continuity_vs_players(
     ]
     for n in player_counts:
         for s, variant in zip(series, variants):
-            result = run_variant(scenario, variant, int(n), config)
-            s.add(n, result.mean_continuity)
+            s.add(n, continuity_point(scenario, int(n), variant, config))
     return series
 
 

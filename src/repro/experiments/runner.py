@@ -1,222 +1,123 @@
-"""One-stop experiment runner.
+"""One-stop experiment runner (back-compat shims over the typed API).
 
-``run_experiment(name, scale)`` regenerates the data of any paper figure
-and returns its series; ``run_all`` iterates over every figure. The CLI
-(:mod:`repro.cli`) and the benchmarks are thin wrappers over this module.
+The experiment catalogue now lives in typed
+:class:`~repro.experiments.api.ExperimentSpec` entries
+(:mod:`repro.experiments.specs`) executed by the parallel sweep engine
+(:mod:`repro.experiments.parallel`). This module keeps the historical
+surface alive:
+
+* :data:`EXPERIMENTS` — **deprecated**: the old bare-callable registry,
+  kept as thin shims; iterate :data:`repro.experiments.specs.SPECS` (or
+  call :func:`repro.experiments.parallel.run_named`) instead to get
+  typed results with metrics, digests and caching.
+* :func:`run_experiment` / :func:`run_all` — same signatures and return
+  types as before, now with ``jobs`` (process-parallel sweep points)
+  and ``cache_dir`` (content-addressed result cache) pass-throughs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import difflib
+from typing import Callable, Optional
 
 import repro.obs as obs_mod
-from repro.core.infrastructure import SessionConfig, SystemVariant
-from repro.experiments import coverage as cov
-from repro.experiments import bandwidth as bw
-from repro.experiments import economics_exp as econ
-from repro.experiments import qoe
-from repro.experiments import satisfaction as sat
-from repro.experiments.scenarios import (
-    Scenario,
-    peersim_scenario,
-    planetlab_scenario,
-)
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import run_spec
+from repro.experiments.specs import SPECS, get_spec
 from repro.metrics.series import FigureSeries
 
 
-def _fig5a(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    return cov.coverage_vs_datacenters(scen)
+def _legacy_entry(name: str) -> Callable[[float, int], list[FigureSeries]]:
+    def _run(scale: float, seed: int) -> list[FigureSeries]:
+        return run_spec(get_spec(name), scale, seed).series
+    _run.__name__ = f"run_{name}"
+    _run.__doc__ = (f"Deprecated shim for {name!r}; use "
+                    f"repro.experiments.parallel.run_named instead.")
+    return _run
 
 
-def _fig5b(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    counts = [int(round(c * scale)) for c in (0, 100, 200, 300, 400, 500, 600)]
-    return cov.coverage_vs_supernodes(scen, sn_counts=sorted(set(counts)))
-
-
-def _fig6a(scale: float, seed: int) -> list[FigureSeries]:
-    scen = planetlab_scenario(scale, seed)
-    return cov.coverage_vs_datacenters(scen, dc_counts=(1, 2, 3, 4))
-
-
-def _fig6b(scale: float, seed: int) -> list[FigureSeries]:
-    scen = planetlab_scenario(scale, seed)
-    counts = [int(round(c * scale)) for c in (0, 50, 100, 150, 200, 250, 300)]
-    return cov.coverage_vs_supernodes(scen, sn_counts=sorted(set(counts)))
-
-
-def _fig7a(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    base = scen.n_online
-    counts = [max(10, int(base * f)) for f in (0.25, 0.5, 0.75, 1.0)]
-    return bw.bandwidth_vs_players(scen, counts)
-
-
-def _fig7b(scale: float, seed: int) -> list[FigureSeries]:
-    scen = planetlab_scenario(scale, seed)
-    base = scen.n_online
-    counts = [max(5, int(base * f)) for f in (0.25, 0.5, 0.75, 1.0)]
-    return bw.bandwidth_vs_players(scen, counts)
-
-
-def _session_config(scale: float) -> SessionConfig:
-    # Shorter horizons at smaller scales keep benchmark runtimes sane
-    # without touching the steady-state numbers (warmup is excluded).
-    duration = 15.0 if scale < 0.5 else 30.0
-    return SessionConfig(duration_s=duration)
-
-
-def _fig8a(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    return [qoe.latency_by_system(scen, config=_session_config(scale))]
-
-
-def _fig8b(scale: float, seed: int) -> list[FigureSeries]:
-    scen = planetlab_scenario(scale, seed)
-    return [qoe.latency_by_system(scen, config=_session_config(scale))]
-
-
-def _fig9a(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    base = scen.n_online
-    counts = [max(10, int(base * f)) for f in (0.5, 0.75, 1.0)]
-    return qoe.continuity_vs_players(
-        scen, counts, config=_session_config(scale))
-
-
-def _fig9b(scale: float, seed: int) -> list[FigureSeries]:
-    scen = planetlab_scenario(scale, seed)
-    base = scen.n_online
-    counts = [max(5, int(base * f)) for f in (0.5, 0.75, 1.0)]
-    return qoe.continuity_vs_players(
-        scen, counts, config=_session_config(scale))
-
-
-def _fig10(scale: float, seed: int) -> list[FigureSeries]:
-    seeds = tuple(range(seed, seed + max(1, int(3 * scale) or 1)))
-    return sat.satisfaction_sweep(strategies=sat.FIG10_STRATEGIES,
-                                  seeds=seeds)
-
-
-def _fig11(scale: float, seed: int) -> list[FigureSeries]:
-    seeds = tuple(range(seed, seed + max(1, int(3 * scale) or 1)))
-    return sat.satisfaction_sweep(strategies=sat.FIG11_STRATEGIES,
-                                  seeds=seeds)
-
-
-def _economics(scale: float, seed: int) -> list[FigureSeries]:
-    scen = peersim_scenario(scale, seed)
-    participation, saved = econ.incentive_sweep(scen)
-    frontier = econ.deployment_frontier(scen)
-    return [participation, saved, frontier]
-
-
-def _churn(scale: float, seed: int) -> list[FigureSeries]:
-    from repro.experiments.churn import ChurnConfig, churn_sweep
-    duration = 30.0 + 30.0 * min(1.0, scale * 5)
-    return churn_sweep(seeds=(seed, seed + 1),
-                       config=ChurnConfig(duration_s=duration))
-
-
-def _cooperation(scale: float, seed: int) -> list[FigureSeries]:
-    from repro.experiments.cooperation import (
-        CooperationConfig,
-        cooperation_sweep,
-    )
-    duration = 20.0 + 20.0 * min(1.0, scale * 5)
-    return cooperation_sweep(seeds=(seed, seed + 1),
-                             config=CooperationConfig(duration_s=duration))
-
-
-def _gameworld(scale: float, seed: int) -> list[FigureSeries]:
-    from repro.experiments import gameworld_exp as gw
-    counts = [max(20, int(round(c * max(scale, 0.05) / 0.08)))
-              for c in (50, 100, 200, 400)]
-    return (gw.update_size_sweep(avatar_counts=sorted(set(counts)),
-                                 seed=seed)
-            + gw.partition_balance_sweep(seed=seed))
-
-
-def _security(scale: float, seed: int) -> list[FigureSeries]:
-    from repro.experiments.security import SecurityConfig, security_sweep
-    n_sessions = max(500, int(3000 * scale / 0.08))
-    return security_sweep(seeds=(seed, seed + 1),
-                          config=SecurityConfig(n_sessions=n_sessions))
-
-
-def _dynamic(scale: float, seed: int) -> list[FigureSeries]:
-    from repro.experiments.dynamic import run_dynamic
-    scen = peersim_scenario(max(scale, 0.05), seed)
-    pop = scen.build()
-    result = run_dynamic(pop, SystemVariant.CLOUDFOG_A, horizon_s=90.0,
-                         config=_session_config(scale))
-    return result.series()
-
-
+#: **Deprecated** bare-callable registry, preserved for callers of the
+#: pre-spec API. Prefer :data:`repro.experiments.specs.SPECS`.
 EXPERIMENTS: dict[str, Callable[[float, int], list[FigureSeries]]] = {
-    "fig5a": _fig5a,
-    "fig5b": _fig5b,
-    "fig6a": _fig6a,
-    "fig6b": _fig6b,
-    "fig7a": _fig7a,
-    "fig7b": _fig7b,
-    "fig8a": _fig8a,
-    "fig8b": _fig8b,
-    "fig9a": _fig9a,
-    "fig9b": _fig9b,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "economics": _economics,
-    # Extensions beyond the paper's figures (DESIGN.md §5b).
-    "churn": _churn,
-    "cooperation": _cooperation,
-    "gameworld": _gameworld,
-    "security": _security,
-    "dynamic": _dynamic,
+    name: _legacy_entry(name) for name in SPECS
 }
 
 
 def resolve_experiments(name: str) -> list[str]:
     """Expand ``name`` into experiment keys.
 
-    An exact key resolves to itself; a prefix like ``"fig8"`` resolves to
-    every key it prefixes (``fig8a``, ``fig8b``), so paper figures can be
-    addressed as a whole.
+    An exact key resolves to itself; a whole-figure prefix (``"fig8"``)
+    resolves to its lettered panels (``fig8a``, ``fig8b``). Anything
+    else — including ambiguous numeric prefixes like ``"fig1"``, which
+    used to silently expand to fig10+fig11 — raises with suggestions.
     """
     if name in EXPERIMENTS:
         return [name]
-    matches = sorted(k for k in EXPERIMENTS if k.startswith(name))
-    if not matches:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from "
-            f"{sorted(EXPERIMENTS)}")
-    return matches
+    panels = sorted(
+        k for k in EXPERIMENTS
+        if len(k) == len(name) + 1 and k.startswith(name)
+        and k[-1].isalpha()
+    )
+    if panels:
+        return panels
+    candidates = sorted(EXPERIMENTS)
+    suggestions = difflib.get_close_matches(name, candidates, n=3,
+                                            cutoff=0.4)
+    suggestions.extend(k for k in candidates
+                       if k.startswith(name) and k not in suggestions)
+    hint = (f"; did you mean {', '.join(sorted(set(suggestions)))}?"
+            if suggestions else "")
+    raise ValueError(
+        f"unknown experiment {name!r}{hint} (choose an exact key from "
+        f"{candidates} or a whole-figure prefix like 'fig5')")
+
+
+def _make_cache(cache_dir: Optional[str]) -> Optional[ResultCache]:
+    return ResultCache(cache_dir) if cache_dir else None
 
 
 def run_experiment(
     name: str, scale: float = 0.1, seed: int = 42,
     obs: Optional["obs_mod.Observability"] = None,
+    *,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
 ) -> list[FigureSeries]:
     """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``
-    or an unambiguous figure prefix (``"fig8"`` runs fig8a + fig8b).
+    or a whole-figure prefix (``"fig8"`` runs fig8a + fig8b).
 
     With ``obs`` given, it is installed as the run's observability
-    context: every session simulation spawned by the experiment traces
-    into it, its metrics registry collects the run's counters, and any
-    attached invariant checkers validate events live.
+    context: every task's events are folded into it in deterministic
+    task order, its metrics registry collects the merged per-task
+    snapshots, and any attached invariant checkers validate the event
+    stream. With ``jobs > 1``, sweep tasks execute on a process pool;
+    the result (series, digests, metrics) is byte-identical to
+    ``jobs=1``. ``cache_dir`` enables the content-addressed result
+    cache so warm re-runs skip completed sweep points.
     """
     keys = resolve_experiments(name)
-    with obs_mod.use(obs):
-        series: list[FigureSeries] = []
-        for key in keys:
-            series.extend(EXPERIMENTS[key](scale, seed))
+    cache = cache if cache is not None else _make_cache(cache_dir)
+    series: list[FigureSeries] = []
+    for key in keys:
+        result = run_spec(get_spec(key), scale, seed, jobs=jobs,
+                          cache=cache, obs=obs)
+        series.extend(result.series)
     if obs is not None:
         obs.finish()
     return series
 
 
-def run_all(scale: float = 0.1, seed: int = 42
-            ) -> dict[str, list[FigureSeries]]:
-    """Regenerate every figure's data."""
-    return {name: run_experiment(name, scale, seed) for name in EXPERIMENTS}
+def run_all(
+    scale: float = 0.1, seed: int = 42,
+    *,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+) -> dict[str, list[FigureSeries]]:
+    """Regenerate every figure's data (optionally parallel and cached)."""
+    cache = cache if cache is not None else _make_cache(cache_dir)
+    return {
+        name: run_experiment(name, scale, seed, jobs=jobs, cache=cache)
+        for name in EXPERIMENTS
+    }

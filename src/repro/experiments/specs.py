@@ -1,0 +1,544 @@
+"""The experiment catalogue: one typed spec per paper figure/extension.
+
+Each :class:`~repro.experiments.api.ExperimentSpec` here decomposes its
+figure into independent sweep tasks — one per sweep point × system
+variant × seed wherever the legacy serial sweep already re-derived its
+randomness per point (almost everywhere: populations are rebuilt from
+the scenario seed at every point, and the per-seed microcosms seed
+their own registries). Two sweeps thread RNG state *across* points and
+therefore stay single tasks so their numbers match the serial code
+exactly: Figure 7's game-choice stream
+(:func:`repro.experiments.bandwidth.bandwidth_vs_players`) and the
+gameworld partition-balance sweep.
+
+Task runners are module-level functions registered in
+:data:`TASK_RUNNERS`; a :class:`~repro.experiments.api.SweepTask`
+references its runner by name, so tasks stay picklable and their cache
+keys content-addressed. Merges consume ``[(task_key, payload), ...]``
+in decompose order — never completion order — which is what makes a
+parallel run byte-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.infrastructure import SessionConfig, SystemVariant
+from repro.experiments import bandwidth as bw
+from repro.experiments import coverage as cov
+from repro.experiments import economics_exp as econ
+from repro.experiments import qoe
+from repro.experiments import satisfaction as sat
+from repro.experiments.api import ExperimentSpec, SweepTask, TaskKey
+from repro.experiments.scenarios import (
+    Scenario,
+    peersim_scenario,
+    planetlab_scenario,
+)
+from repro.metrics.series import FigureSeries
+
+_SCENARIOS = {
+    "peersim": peersim_scenario,
+    "planetlab": planetlab_scenario,
+}
+
+OrderedResults = "list[tuple[TaskKey, Any]]"
+
+
+def _scenario(name: str, scale: float, seed: int) -> Scenario:
+    return _SCENARIOS[name](scale, seed)
+
+
+def _session_duration_s(scale: float) -> float:
+    # Shorter horizons at smaller scales keep benchmark runtimes sane
+    # without touching the steady-state numbers (warmup is excluded).
+    return 15.0 if scale < 0.5 else 30.0
+
+
+def _fragments(series: Sequence[FigureSeries]) -> dict[str, Any]:
+    """Encode series (or one-point series fragments) as task payload."""
+    return {"series": [s.to_dict() for s in series]}
+
+
+def merge_series_fragments(ordered) -> list[FigureSeries]:
+    """Concatenate per-task series fragments by identity, task order.
+
+    Fragments with the same (label, x_label, y_label) are one logical
+    line; their points concatenate in task order, which decompose
+    guarantees is the serial sweep order.
+    """
+    by_ident: dict[tuple, FigureSeries] = {}
+    order: list[tuple] = []
+    for _key, data in ordered:
+        for frag in data["series"]:
+            ident = (frag["label"], frag["x_label"], frag["y_label"])
+            s = by_ident.get(ident)
+            if s is None:
+                s = FigureSeries(label=frag["label"],
+                                 x_label=frag["x_label"],
+                                 y_label=frag["y_label"])
+                by_ident[ident] = s
+                order.append(ident)
+            for xv, yv in zip(frag["x"], frag["y"]):
+                s.add(xv, yv)
+    return [by_ident[i] for i in order]
+
+
+def _merge_fragments(scale: float, seed: int, ordered) -> list[FigureSeries]:
+    return merge_series_fragments(ordered)
+
+
+# --------------------------------------------------------------------------
+# Task runners (referenced by name; run in worker processes)
+# --------------------------------------------------------------------------
+
+def _run_coverage_dc(scale: float, seed: int, p: dict) -> dict:
+    scen = _scenario(p["scenario"], scale, seed)
+    return _fragments(
+        cov.coverage_vs_datacenters(scen, dc_counts=(int(p["n_dc"]),)))
+
+
+def _run_coverage_sn(scale: float, seed: int, p: dict) -> dict:
+    scen = _scenario(p["scenario"], scale, seed)
+    return _fragments(
+        cov.coverage_vs_supernodes(scen, sn_counts=(int(p["n_sn"]),)))
+
+
+def _run_bandwidth(scale: float, seed: int, p: dict) -> dict:
+    scen = _scenario(p["scenario"], scale, seed)
+    return _fragments(bw.bandwidth_vs_players(scen, p["counts"]))
+
+
+def _run_latency_variant(scale: float, seed: int, p: dict) -> dict:
+    scen = _scenario(p["scenario"], scale, seed)
+    cfg = SessionConfig(duration_s=p["duration_s"])
+    s = FigureSeries(label=p["label"], x_label="system (index)",
+                     y_label="avg response latency (ms)")
+    s.add(p["index"],
+          qoe.latency_point(scen, SystemVariant(p["variant"]), config=cfg))
+    return _fragments([s])
+
+
+def _run_continuity_point(scale: float, seed: int, p: dict) -> dict:
+    scen = _scenario(p["scenario"], scale, seed)
+    cfg = SessionConfig(duration_s=p["duration_s"])
+    return _fragments(qoe.continuity_vs_players(
+        scen, [int(p["n_players"])],
+        variants=[SystemVariant(p["variant"])], config=cfg))
+
+
+def _run_supernode_load(scale: float, seed: int, p: dict) -> dict:
+    out = sat.simulate_supernode_load(
+        int(p["load"]), p["adapt"], p["sched"], seed=int(p["task_seed"]))
+    return {"value": out["satisfied"]}
+
+
+def _run_econ_incentive(scale: float, seed: int, p: dict) -> dict:
+    scen = peersim_scenario(scale, seed)
+    participation, saved = econ.incentive_sweep(scen)
+    return _fragments([participation, saved])
+
+
+def _run_econ_frontier(scale: float, seed: int, p: dict) -> dict:
+    scen = peersim_scenario(scale, seed)
+    return _fragments([econ.deployment_frontier(scen)])
+
+
+def _run_churn_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.churn import ChurnConfig, simulate_churn
+    cfg = ChurnConfig(duration_s=p["duration_s"])
+    out = simulate_churn(p["rate"], p["with_backups"],
+                         seed=int(p["task_seed"]), config=cfg)
+    return {"value": out["continuity"]}
+
+
+def _run_cooperation_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.cooperation import (
+        CooperationConfig,
+        simulate_cooperation,
+    )
+    cfg = CooperationConfig(duration_s=p["duration_s"])
+    out = simulate_cooperation(int(p["n_players"]), p["hot_fraction"],
+                               p["cooperate"], seed=int(p["task_seed"]),
+                               config=cfg)
+    return {"value": out["satisfied"]}
+
+
+def _run_security_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.security import SecurityConfig, simulate_security
+    cfg = SecurityConfig(n_sessions=int(p["n_sessions"]),
+                         malicious_fraction=float(p["malicious_fraction"]))
+    out = simulate_security(p["use_reputation"], seed=int(p["task_seed"]),
+                            config=cfg)
+    return {"value": out["tampered_rate"]}
+
+
+def _run_gameworld_update(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments import gameworld_exp as gw
+    return _fragments(gw.update_size_sweep(
+        avatar_counts=(int(p["n_avatars"]),), aoi_radii=(p["aoi_radius"],),
+        seed=int(p["task_seed"])))
+
+
+def _run_gameworld_partition(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments import gameworld_exp as gw
+    return _fragments(gw.partition_balance_sweep(seed=int(p["task_seed"])))
+
+
+def _run_dynamic(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.dynamic import run_dynamic
+    scen = peersim_scenario(max(scale, 0.05), seed)
+    pop = scen.build()
+    result = run_dynamic(pop, SystemVariant.CLOUDFOG_A, horizon_s=90.0,
+                         config=SessionConfig(duration_s=p["duration_s"]))
+    return _fragments(result.series())
+
+
+#: Picklable dispatch table: runner name -> fn(scale, seed, params).
+TASK_RUNNERS = {
+    "coverage_dc": _run_coverage_dc,
+    "coverage_sn": _run_coverage_sn,
+    "bandwidth": _run_bandwidth,
+    "latency_variant": _run_latency_variant,
+    "continuity_point": _run_continuity_point,
+    "supernode_load": _run_supernode_load,
+    "econ_incentive": _run_econ_incentive,
+    "econ_frontier": _run_econ_frontier,
+    "churn_point": _run_churn_point,
+    "cooperation_point": _run_cooperation_point,
+    "security_point": _run_security_point,
+    "gameworld_update": _run_gameworld_update,
+    "gameworld_partition": _run_gameworld_partition,
+    "dynamic": _run_dynamic,
+}
+
+
+# --------------------------------------------------------------------------
+# Decompositions and merges
+# --------------------------------------------------------------------------
+
+def _decompose_coverage_dc(name, scenario, dc_counts, scale, seed):
+    return [
+        SweepTask(name, (int(n),), "coverage_dc",
+                  {"scenario": scenario, "n_dc": int(n)})
+        for n in dc_counts
+    ]
+
+
+def _sn_counts(scale: float, bases: Sequence[int]) -> list[int]:
+    return sorted(set(int(round(c * scale)) for c in bases))
+
+
+def _decompose_coverage_sn(name, scenario, bases, scale, seed):
+    return [
+        SweepTask(name, (int(n),), "coverage_sn",
+                  {"scenario": scenario, "n_sn": int(n)})
+        for n in _sn_counts(scale, bases)
+    ]
+
+
+def _decompose_bandwidth(name, scenario, min_count, scale, seed):
+    scen = _scenario(scenario, scale, seed)
+    counts = [max(min_count, int(scen.n_online * f))
+              for f in (0.25, 0.5, 0.75, 1.0)]
+    # One task: the per-count game-choice draws share one RNG stream, so
+    # the sweep is not point-decomposable without changing its numbers.
+    return [SweepTask(name, ("sweep",), "bandwidth",
+                      {"scenario": scenario, "counts": counts})]
+
+
+def _decompose_latency(name, scenario, scale, seed):
+    label = " | ".join(v.value for v in qoe.ALL_SYSTEMS)
+    duration = _session_duration_s(scale)
+    return [
+        SweepTask(name, (i, v.value), "latency_variant",
+                  {"scenario": scenario, "variant": v.value, "index": i,
+                   "label": label, "duration_s": duration})
+        for i, v in enumerate(qoe.ALL_SYSTEMS)
+    ]
+
+
+def _decompose_continuity(name, scenario, min_count, scale, seed):
+    scen = _scenario(scenario, scale, seed)
+    counts = [max(min_count, int(scen.n_online * f))
+              for f in (0.5, 0.75, 1.0)]
+    duration = _session_duration_s(scale)
+    return [
+        SweepTask(name, (int(n), v.value), "continuity_point",
+                  {"scenario": scenario, "n_players": int(n),
+                   "variant": v.value, "duration_s": duration})
+        for n in counts
+        for v in qoe.ALL_SYSTEMS
+    ]
+
+
+_SAT_LOADS = (5, 10, 15, 20, 25)
+
+
+def _sat_seeds(scale: float, seed: int) -> list[int]:
+    return list(range(seed, seed + max(1, int(3 * scale) or 1)))
+
+
+def _decompose_satisfaction(name, strategies, scale, seed):
+    return [
+        SweepTask(name, (int(k), si, int(sv)), "supernode_load",
+                  {"load": int(k), "adapt": adapt, "sched": sched,
+                   "task_seed": int(sv)})
+        for k in _SAT_LOADS
+        for si, (_label, adapt, sched) in enumerate(strategies)
+        for sv in _sat_seeds(scale, seed)
+    ]
+
+
+def _merge_satisfaction(name, strategies, scale, seed, ordered):
+    res = dict(ordered)
+    seeds = _sat_seeds(scale, seed)
+    series = [
+        FigureSeries(label=label, x_label="players per supernode",
+                     y_label="satisfied players")
+        for label, _, _ in strategies
+    ]
+    for k in _SAT_LOADS:
+        for si, s in enumerate(series):
+            vals = [res[(k, si, sv)]["value"] for sv in seeds]
+            s.add(k, float(np.mean(vals)))
+    return series
+
+
+def _decompose_economics(scale, seed):
+    return [
+        SweepTask("economics", (0, "incentive"), "econ_incentive", {}),
+        SweepTask("economics", (1, "frontier"), "econ_frontier", {}),
+    ]
+
+
+_CHURN_RATES = (0.0, 1.0, 2.0, 4.0, 8.0)
+#: (flag value, series label) in the serial sweep's series order.
+_CHURN_FLAGS = ((True, "with backups"),
+                (False, "without backups (cloud fallback)"))
+
+
+def _churn_duration_s(scale: float) -> float:
+    return 30.0 + 30.0 * min(1.0, scale * 5)
+
+
+def _decompose_churn(scale, seed):
+    duration = _churn_duration_s(scale)
+    return [
+        SweepTask("churn", (rate, fi, int(sv)), "churn_point",
+                  {"rate": rate, "with_backups": flag, "task_seed": int(sv),
+                   "duration_s": duration})
+        for rate in _CHURN_RATES
+        for fi, (flag, _label) in enumerate(_CHURN_FLAGS)
+        for sv in (seed, seed + 1)
+    ]
+
+
+def _merge_churn(scale, seed, ordered):
+    res = dict(ordered)
+    series = [
+        FigureSeries(label=label, x_label="supernode departures per minute",
+                     y_label="playback continuity")
+        for _flag, label in _CHURN_FLAGS
+    ]
+    for rate in _CHURN_RATES:
+        for fi, s in enumerate(series):
+            vals = [res[(rate, fi, sv)]["value"] for sv in (seed, seed + 1)]
+            s.add(rate, float(np.mean(vals)))
+    return series
+
+
+_COOP_FRACTIONS = (0.25, 0.4, 0.55, 0.7, 0.85)
+_COOP_FLAGS = ((False, "no cooperation"), (True, "with cooperation"))
+_COOP_PLAYERS = 16
+
+
+def _coop_duration_s(scale: float) -> float:
+    return 20.0 + 20.0 * min(1.0, scale * 5)
+
+
+def _decompose_cooperation(scale, seed):
+    duration = _coop_duration_s(scale)
+    return [
+        SweepTask("cooperation", (frac, fi, int(sv)), "cooperation_point",
+                  {"hot_fraction": frac, "cooperate": flag,
+                   "n_players": _COOP_PLAYERS, "task_seed": int(sv),
+                   "duration_s": duration})
+        for frac in _COOP_FRACTIONS
+        for fi, (flag, _label) in enumerate(_COOP_FLAGS)
+        for sv in (seed, seed + 1)
+    ]
+
+
+def _merge_cooperation(scale, seed, ordered):
+    res = dict(ordered)
+    series = [
+        FigureSeries(label=label, x_label="fraction on the hot supernode",
+                     y_label="satisfied players")
+        for _flag, label in _COOP_FLAGS
+    ]
+    for frac in _COOP_FRACTIONS:
+        for fi, s in enumerate(series):
+            vals = [res[(frac, fi, sv)]["value"] for sv in (seed, seed + 1)]
+            s.add(frac, float(np.mean(vals)))
+    return series
+
+
+_SECURITY_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4)
+_SECURITY_FLAGS = ((False, "no reputation system"),
+                   (True, "with reputation + eviction"))
+
+
+def _security_sessions(scale: float) -> int:
+    return max(500, int(3000 * scale / 0.08))
+
+
+def _decompose_security(scale, seed):
+    n_sessions = _security_sessions(scale)
+    return [
+        SweepTask("security", (frac, fi, int(sv)), "security_point",
+                  {"malicious_fraction": frac, "use_reputation": flag,
+                   "n_sessions": n_sessions, "task_seed": int(sv)})
+        for frac in _SECURITY_FRACTIONS
+        for fi, (flag, _label) in enumerate(_SECURITY_FLAGS)
+        for sv in (seed, seed + 1)
+    ]
+
+
+def _merge_security(scale, seed, ordered):
+    res = dict(ordered)
+    series = [
+        FigureSeries(label=label, x_label="malicious supernode fraction",
+                     y_label="tampered session rate")
+        for _flag, label in _SECURITY_FLAGS
+    ]
+    for frac in _SECURITY_FRACTIONS:
+        for fi, s in enumerate(series):
+            vals = [res[(frac, fi, sv)]["value"] for sv in (seed, seed + 1)]
+            s.add(frac, float(np.mean(vals)))
+    return series
+
+
+_GAMEWORLD_RADII = (50.0, 100.0, 200.0)
+
+
+def _gameworld_counts(scale: float) -> list[int]:
+    return sorted(set(max(20, int(round(c * max(scale, 0.05) / 0.08)))
+                      for c in (50, 100, 200, 400)))
+
+
+def _decompose_gameworld(scale, seed):
+    tasks = [
+        SweepTask("gameworld", (int(n), radius), "gameworld_update",
+                  {"n_avatars": int(n), "aoi_radius": radius,
+                   "task_seed": int(seed)})
+        for n in _gameworld_counts(scale)
+        for radius in _GAMEWORLD_RADII
+    ]
+    # Single task: the partition sweep threads one RNG across points.
+    tasks.append(SweepTask("gameworld", ("partition",),
+                           "gameworld_partition", {"task_seed": int(seed)}))
+    return tasks
+
+
+def _decompose_dynamic(scale, seed):
+    return [SweepTask("dynamic", ("run",), "dynamic",
+                      {"duration_s": _session_duration_s(scale)})]
+
+
+def _spec(name: str, description: str, tags: tuple[str, ...],
+          decompose, merge=_merge_fragments) -> ExperimentSpec:
+    return ExperimentSpec(name=name, description=description, tags=tags,
+                          decompose=decompose, merge=merge)
+
+
+SPECS: dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    SPECS[spec.name] = spec
+
+
+_register(_spec(
+    "fig5a", "user coverage vs datacenters (PeerSim)", ("paper", "peersim"),
+    partial(_decompose_coverage_dc, "fig5a", "peersim", (5, 10, 15, 20, 25))))
+_register(_spec(
+    "fig5b", "user coverage vs supernodes (PeerSim)", ("paper", "peersim"),
+    partial(_decompose_coverage_sn, "fig5b", "peersim",
+            (0, 100, 200, 300, 400, 500, 600))))
+_register(_spec(
+    "fig6a", "user coverage vs datacenters (PlanetLab)",
+    ("paper", "planetlab"),
+    partial(_decompose_coverage_dc, "fig6a", "planetlab", (1, 2, 3, 4))))
+_register(_spec(
+    "fig6b", "user coverage vs supernodes (PlanetLab)",
+    ("paper", "planetlab"),
+    partial(_decompose_coverage_sn, "fig6b", "planetlab",
+            (0, 50, 100, 150, 200, 250, 300))))
+_register(_spec(
+    "fig7a", "cloud bandwidth vs players (PeerSim)", ("paper", "peersim"),
+    partial(_decompose_bandwidth, "fig7a", "peersim", 10)))
+_register(_spec(
+    "fig7b", "cloud bandwidth vs players (PlanetLab)",
+    ("paper", "planetlab"),
+    partial(_decompose_bandwidth, "fig7b", "planetlab", 5)))
+_register(_spec(
+    "fig8a", "response latency by system (PeerSim)", ("paper", "peersim"),
+    partial(_decompose_latency, "fig8a", "peersim")))
+_register(_spec(
+    "fig8b", "response latency by system (PlanetLab)",
+    ("paper", "planetlab"),
+    partial(_decompose_latency, "fig8b", "planetlab")))
+_register(_spec(
+    "fig9a", "playback continuity vs players (PeerSim)",
+    ("paper", "peersim"),
+    partial(_decompose_continuity, "fig9a", "peersim", 10)))
+_register(_spec(
+    "fig9b", "playback continuity vs players (PlanetLab)",
+    ("paper", "planetlab"),
+    partial(_decompose_continuity, "fig9b", "planetlab", 5)))
+_register(_spec(
+    "fig10", "rate-adaptation satisfaction sweep", ("paper",),
+    partial(_decompose_satisfaction, "fig10", sat.FIG10_STRATEGIES),
+    partial(_merge_satisfaction, "fig10", sat.FIG10_STRATEGIES)))
+_register(_spec(
+    "fig11", "deadline-scheduling satisfaction sweep", ("paper",),
+    partial(_decompose_satisfaction, "fig11", sat.FIG11_STRATEGIES),
+    partial(_merge_satisfaction, "fig11", sat.FIG11_STRATEGIES)))
+_register(_spec(
+    "economics", "incentive sweep + deployment frontier (§III-A)",
+    ("paper", "economics"), _decompose_economics))
+# Extensions beyond the paper's figures (DESIGN.md §5b).
+_register(_spec(
+    "churn", "supernode churn and backup failover", ("extension",),
+    _decompose_churn, _merge_churn))
+_register(_spec(
+    "cooperation", "supernode load cooperation", ("extension",),
+    _decompose_cooperation, _merge_cooperation))
+_register(_spec(
+    "gameworld", "update size + partition balance", ("extension",),
+    _decompose_gameworld))
+_register(_spec(
+    "security", "reputation + eviction vs tampering", ("extension",),
+    _decompose_security, _merge_security))
+_register(_spec(
+    "dynamic", "join/leave-driven CloudFog time series", ("extension",),
+    _decompose_dynamic))
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """The spec registered under ``name`` (exact key)."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(SPECS)}"
+        ) from None
+
+
+def spec_names() -> list[str]:
+    """All registered experiment keys, in registration order."""
+    return list(SPECS)

@@ -58,7 +58,9 @@ class FigureSeries:
         self.x.append(float(x))
         self.y.append(float(y))
 
-    def as_dict(self) -> dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
+        """Stable JSON schema shared by the CLI ``--json`` output, the
+        on-disk result cache and external plotting tools."""
         return {
             "label": self.label,
             "x_label": self.x_label,
@@ -66,6 +68,21 @@ class FigureSeries:
             "x": list(self.x),
             "y": list(self.y),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FigureSeries":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        return cls(
+            label=str(payload["label"]),
+            x_label=str(payload["x_label"]),
+            y_label=str(payload["y_label"]),
+            x=[float(v) for v in payload.get("x", [])],
+            y=[float(v) for v in payload.get("y", [])],
+        )
+
+    # Back-compat alias; prefer :meth:`to_dict`.
+    def as_dict(self) -> dict[str, object]:
+        return self.to_dict()
 
     def format_rows(self, x_fmt: str = "{:g}", y_fmt: str = "{:.3f}") -> str:
         """Human-readable table of the series."""

@@ -149,6 +149,34 @@ class MetricsRegistry:
         self._instruments.append(h)
         return h
 
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` produced elsewhere into this registry.
+
+        The parallel sweep engine runs every task under its own private
+        registry (in a worker process or inline) and merges the per-task
+        snapshots into the parent in deterministic task order; because
+        this registers ordinary instruments, the usual snapshot-time
+        aggregation applies — counters sum, the last absorbed gauge
+        wins, histograms merge bucket-wise.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                h = self.histogram(name, bounds=tuple(entry["bounds"]))
+                h.bucket_counts = [int(n) for n in entry["buckets"]]
+                h.count = int(entry["count"])
+                h.sum = float(entry["sum"])
+                h.min = (float(entry["min"]) if entry["min"] is not None
+                         else float("inf"))
+                h.max = (float(entry["max"]) if entry["max"] is not None
+                         else float("-inf"))
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
     def __len__(self) -> int:
         return len(self._instruments)
 

@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    resolve_experiments,
+    run_experiment,
+)
 
 
 class TestRunner:
@@ -79,3 +83,83 @@ class TestCli:
         assert main(["security", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "with reputation + eviction" in out
+
+
+class TestResolveExperiments:
+    def test_exact_key(self):
+        assert resolve_experiments("fig5a") == ["fig5a"]
+        assert resolve_experiments("economics") == ["economics"]
+
+    def test_whole_figure_prefix_expands_to_panels(self):
+        assert resolve_experiments("fig5") == ["fig5a", "fig5b"]
+        assert resolve_experiments("fig8") == ["fig8a", "fig8b"]
+
+    def test_ambiguous_numeric_prefix_rejected(self):
+        # "fig1" used to silently expand to fig10 + fig11; now it must
+        # error and point at the exact keys instead.
+        with pytest.raises(ValueError, match="fig10"):
+            resolve_experiments("fig1")
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(ValueError, match="did you mean.*fig5a"):
+            resolve_experiments("fig5A")
+
+    def test_unrelated_name_still_errors(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            resolve_experiments("bogus")
+
+
+class TestCliParallelFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5a"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.json is None
+
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["all", "--jobs", "4", "--cache-dir", "/tmp/cf", "--no-cache"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/cf"
+        assert args.no_cache is True
+
+    def test_json_optional_path(self):
+        assert build_parser().parse_args(["fig5a", "--json"]).json == "-"
+        args = build_parser().parse_args(["fig5a", "--json", "out.json"])
+        assert args.json == "out.json"
+
+    def test_json_file_output(self, tmp_path, capsys):
+        out = tmp_path / "fig5a.json"
+        assert main(["fig5a", "--scale", "0.01", "--json", str(out)]) == 0
+        assert f"to {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["fig5a"][0]["label"] == "req=30ms"
+        assert set(payload["fig5a"][0]) == {
+            "label", "x_label", "y_label", "x", "y"}
+
+    def test_parallel_run_from_cli(self, capsys):
+        assert main(["fig5a", "--scale", "0.01", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "req=30ms" in out
+        assert "jobs=2" in out
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["fig5a", "--scale", "0.01", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[cache] 0 hits, 5 misses" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[cache] 5 hits, 0 misses" in warm
+
+    def test_no_cache_disables_cache(self, tmp_path, capsys):
+        argv = ["fig5a", "--scale", "0.01",
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        assert "[cache]" not in capsys.readouterr().out
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be positive"):
+            main(["fig5a", "--scale", "0.01", "--jobs", "-2"])

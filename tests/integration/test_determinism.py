@@ -74,6 +74,36 @@ class TestExperimentDeterminism:
         assert snap["playback.response_latency_s"]["count"] > 0
 
 
+class TestParallelExecutionDeterminism:
+    """jobs=4 must be indistinguishable from jobs=1 — series, trace
+    digest and merged metrics alike (PR acceptance criterion)."""
+
+    @pytest.fixture(scope="class")
+    def parity_runs(self):
+        def run(jobs):
+            obs = Observability(trace=TraceRecorder(),
+                                checkers=default_checkers())
+            series = run_experiment("fig8", scale=SCALE, seed=5, obs=obs,
+                                    jobs=jobs)
+            return series, obs
+
+        return run(1), run(4)
+
+    def test_series_byte_identical(self, parity_runs):
+        (serial, _), (parallel, _) = parity_runs
+        assert ([s.to_dict() for s in serial]
+                == [s.to_dict() for s in parallel])
+
+    def test_trace_digest_identical(self, parity_runs):
+        (_, obs1), (_, obs4) = parity_runs
+        assert obs1.digest() == obs4.digest()
+        assert len(obs1.trace) == len(obs4.trace) > 0
+
+    def test_metrics_snapshot_identical(self, parity_runs):
+        (_, obs1), (_, obs4) = parity_runs
+        assert obs1.metrics.snapshot() == obs4.metrics.snapshot()
+
+
 class TestObservabilityIsOptIn:
     def test_unobserved_run_matches_observed_series(self):
         plain = run_experiment("fig8a", scale=SCALE, seed=5)

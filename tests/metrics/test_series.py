@@ -44,6 +44,25 @@ class TestFigureSeries:
         assert d["x"] == [1.0]
         assert d["y"] == [2.0]
 
+    def test_to_dict_stable_schema(self):
+        fs = FigureSeries("l", "xa", "ya")
+        fs.add(1, 2)
+        d = fs.to_dict()
+        # The JSON schema is a published contract (--json consumers).
+        assert set(d) == {"label", "x_label", "y_label", "x", "y"}
+        assert d == {"label": "l", "x_label": "xa", "y_label": "ya",
+                     "x": [1.0], "y": [2.0]}
+
+    def test_from_dict_round_trip(self):
+        fs = FigureSeries("req=30ms", "# dc", "coverage")
+        fs.add(5, 0.41)
+        fs.add(10, 0.62)
+        restored = FigureSeries.from_dict(fs.to_dict())
+        assert restored.to_dict() == fs.to_dict()
+        assert restored.label == fs.label
+        assert restored.x == fs.x
+        assert restored.y == fs.y
+
     def test_format_rows(self):
         fs = FigureSeries("cov", "# dc", "coverage")
         fs.add(5, 0.41)

@@ -128,3 +128,64 @@ class TestMetricsRegistry:
 
     def test_null_registry_is_fresh(self):
         assert len(null_registry()) == 0
+
+
+class TestAbsorbSnapshot:
+    """Folding per-task registry snapshots into a parent registry —
+    the merge step of the parallel sweep engine."""
+
+    @staticmethod
+    def task_snapshot(drops, qlen, latencies):
+        reg = MetricsRegistry()
+        reg.counter("drops").inc(drops)
+        reg.gauge("qlen").set(qlen)
+        h = reg.histogram("lat", bounds=(1.0, 2.0))
+        for v in latencies:
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_counters_sum_across_tasks(self):
+        parent = MetricsRegistry()
+        parent.absorb_snapshot(self.task_snapshot(3, 1, [0.5]))
+        parent.absorb_snapshot(self.task_snapshot(4, 2, [1.5]))
+        assert parent.snapshot()["drops"]["value"] == 7
+
+    def test_last_absorbed_gauge_wins(self):
+        parent = MetricsRegistry()
+        parent.absorb_snapshot(self.task_snapshot(0, 5, []))
+        parent.absorb_snapshot(self.task_snapshot(0, 9, []))
+        assert parent.snapshot()["qlen"]["value"] == 9
+
+    def test_histograms_merge_bucketwise(self):
+        parent = MetricsRegistry()
+        parent.absorb_snapshot(self.task_snapshot(0, 0, [0.5, 1.5]))
+        parent.absorb_snapshot(self.task_snapshot(0, 0, [3.0]))
+        entry = parent.snapshot()["lat"]
+        assert entry["count"] == 3
+        assert entry["buckets"] == [1, 1, 1]
+        assert entry["min"] == 0.5 and entry["max"] == 3.0
+        assert entry["sum"] == pytest.approx(5.0)
+
+    def test_empty_histogram_absorbs_without_poisoning_extrema(self):
+        parent = MetricsRegistry()
+        parent.absorb_snapshot(self.task_snapshot(0, 0, []))
+        parent.absorb_snapshot(self.task_snapshot(0, 0, [1.5]))
+        entry = parent.snapshot()["lat"]
+        assert entry["min"] == 1.5 and entry["max"] == 1.5
+
+    def test_absorb_equals_direct_observation(self):
+        # Absorbing a snapshot must be indistinguishable from having
+        # observed the values locally — the determinism contract.
+        direct = MetricsRegistry()
+        direct.counter("drops").inc(7)
+        h = direct.histogram("lat", bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        absorbed = MetricsRegistry()
+        absorbed.absorb_snapshot(direct.snapshot())
+        assert absorbed.snapshot() == direct.snapshot()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry().absorb_snapshot(
+                {"x": {"kind": "meter", "value": 1}})
