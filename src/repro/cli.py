@@ -17,6 +17,11 @@ Examples
                                       # run with telemetry + invariant
                                       # checks, dump the JSONL trace and
                                       # print the run digest
+    cloudfog chaos --preset crash-recover --scale 0.05
+                                      # seed-deterministic fault
+                                      # injection: crash the busiest
+                                      # supernode, report failover and
+                                      # QoE under live invariant checks
 """
 
 from __future__ import annotations
@@ -155,11 +160,119 @@ def trace_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    from repro.faults.plan import PRESETS
+
+    parser = argparse.ArgumentParser(
+        prog="cloudfog chaos",
+        description="Run one session under a deterministic fault plan: "
+                    "crash/recover supernodes, degrade links, partition "
+                    "regions — with live invariant checking and a "
+                    "failover/recovery report.",
+    )
+    parser.add_argument(
+        "--preset", default="crash-recover", choices=PRESETS,
+        help="fault plan preset (default crash-recover)")
+    parser.add_argument(
+        "--intensity", type=int, default=1,
+        help="preset intensity: 0 = empty plan (baseline), higher = "
+             "more/larger faults (default 1)")
+    parser.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="load a FaultPlan from a JSON file instead of a preset")
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="population scale factor in (0, 1] (default 0.05)")
+    parser.add_argument(
+        "--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=12.0, metavar="S",
+        help="session horizon in seconds (default 12)")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the trace as JSONL to PATH")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the chaos report as JSON to PATH ('-' = stdout)")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the live invariant checkers")
+    return parser
+
+
+def chaos_main(argv: list[str] | None = None) -> int:
+    """``cloudfog chaos``: fault injection + failover under telemetry."""
+    import repro.obs as obs_mod
+    from repro.obs import Observability, TraceRecorder, default_checkers
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+    from repro.faults.plan import FaultPlan
+
+    parser = build_chaos_parser()
+    args = parser.parse_args(argv)
+    plan = None
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as fp:
+            plan = FaultPlan.from_dict(json.load(fp))
+    obs = Observability(
+        trace=TraceRecorder(),
+        checkers=[] if args.no_check else default_checkers(),
+    )
+    t0 = time.time()
+    with obs_mod.use(obs):
+        report = run_chaos(
+            args.scale, args.seed, preset=args.preset,
+            intensity=args.intensity, plan=plan,
+            config=ChaosConfig(duration_s=args.duration))
+    elapsed = time.time() - t0
+
+    if args.out:
+        n = obs.trace.save(args.out)
+        print(f"wrote {n} events to {args.out}")
+    if args.json:
+        if args.json == "-":
+            json.dump(report, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(report, fp, indent=2, sort_keys=True)
+            print(f"wrote chaos report to {args.json}")
+
+    fs = report["fault_stats"] or {}
+    plan_desc = (args.plan if args.plan
+                 else f"{args.preset} @ intensity {args.intensity}")
+    print(f"plan:        {plan_desc} ({report['n_faults']} faults)")
+    print(f"players:     {report['n_players']} "
+          f"({report['served_supernode']:.0%} on supernodes)")
+    print(f"continuity:  {report['continuity']:.4f}")
+    print(f"satisfied:   {report['satisfied']:.4f}")
+    print(f"injected:    {fs.get('injected', 0)} "
+          f"(cleared {fs.get('cleared', 0)}, "
+          f"skipped {fs.get('skipped', 0)})")
+    print(f"recoveries:  {fs.get('recoveries', 0)} "
+          f"(reconnects {fs.get('reconnects', 0)}, "
+          f"migrations {fs.get('migrations', 0)}, "
+          f"cloud fallbacks {fs.get('cloud_fallbacks', 0)})")
+    mean_rt = fs.get("mean_recovery_time_s")
+    if mean_rt is not None:
+        print(f"recovery:    mean {mean_rt * 1000:.0f} ms, "
+              f"max {fs.get('max_recovery_time_s', 0) * 1000:.0f} ms")
+    print(f"lost:        {fs.get('segments_lost_to_faults', 0)} segments "
+          f"to faults, {fs.get('stale_suppressed', 0)} stale suppressed")
+    print(f"digest:      {obs.digest()}")
+    checks = "skipped" if args.no_check else (
+        f"passed ({len(obs.checkers)} checkers)")
+    print(f"invariants:  {checks}")
+    print(f"[{elapsed:.1f}s, scale={args.scale}, seed={args.seed}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "ladder":
         _print_ladder()

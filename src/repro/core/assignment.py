@@ -123,6 +123,10 @@ class SupernodeAssignment:
         self._sn_index = {int(h): i for i, h in enumerate(self.sn_host_ids)}
         #: player host id -> serving supernode index (for release()).
         self._placements: dict[int, int] = {}
+        #: Crashed supernodes (failover): excluded from the candidate
+        #: table until :meth:`mark_recovered`. Kept as a plain set so
+        #: the no-fault path pays one falsy check.
+        self._failed: set[int] = set()
         #: Shuffle source for the "random" ablation policy (seeded so
         #: assignment stays deterministic).
         self._policy_rng = np.random.default_rng(0xC10D)
@@ -149,6 +153,9 @@ class SupernodeAssignment:
         if self.trust is not None and pool.size:
             pool = np.array([h for h in pool
                              if self.trust.is_active(int(h))], dtype=int)
+        if self._failed and pool.size:
+            pool = np.array([h for h in pool
+                             if int(h) not in self._failed], dtype=int)
         if pool.size == 0:
             return np.empty(0, dtype=int)
         dists = pairwise_distances_km(
@@ -206,6 +213,26 @@ class SupernodeAssignment:
         idx = self._placements.pop(int(player_host_id), None)
         if idx is not None:
             self.load[idx] -= 1
+
+    # -- failover ------------------------------------------------------------
+    def mark_failed(self, supernode_host_id: int) -> None:
+        """Drop a crashed supernode from the candidate table.
+
+        Existing placements on the node are kept (reconnecting players
+        keep their slot); only *new* assignments avoid it.
+        """
+        h = int(supernode_host_id)
+        if h in self._sn_index:
+            self._failed.add(h)
+
+    def mark_recovered(self, supernode_host_id: int) -> None:
+        """Re-list a supernode after it came back."""
+        self._failed.discard(int(supernode_host_id))
+
+    def is_listed(self, supernode_host_id: int) -> bool:
+        """Whether the cloud's table currently offers the supernode."""
+        h = int(supernode_host_id)
+        return h in self._sn_index and h not in self._failed
 
     @property
     def supernodes_in_use(self) -> int:

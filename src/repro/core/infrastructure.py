@@ -39,6 +39,10 @@ from repro.core.player import PlayerEndpoint
 from repro.core.scheduling import SchedulingParams
 from repro.core.server import StreamingServer
 from repro.core.supernode import SupernodeServer
+from repro.faults.failover import FailoverController, FailoverParams
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.session import SessionChaos
 from repro.network.topology import HostKind
 from repro.sim.engine import Environment
 from repro.streaming.encoder import SegmentEncoder
@@ -100,6 +104,12 @@ class SessionConfig:
     adaptation: AdaptationParams = field(default_factory=AdaptationParams)
     scheduling: SchedulingParams = field(default_factory=SchedulingParams)
     assignment: AssignmentParams = field(default_factory=AssignmentParams)
+    #: Deterministic fault plan. ``None`` disarms every piece of chaos
+    #: machinery; an armed-but-empty plan is byte-identical to ``None``
+    #: (trace digest, series, metrics) — the zero-overhead contract.
+    faults: Optional[FaultPlan] = None
+    #: Failover timing constants (consulted only when a plan is armed).
+    failover: FailoverParams = field(default_factory=FailoverParams)
 
 
 @dataclass
@@ -127,6 +137,8 @@ class SessionResult:
     cloud_stream_bytes: float
     supernode_bytes: float
     edge_bytes: float
+    #: Failover/injection tallies when a fault plan was armed, else None.
+    fault_stats: Optional[dict] = None
 
     @property
     def n_players(self) -> int:
@@ -207,6 +219,19 @@ class GamingSession:
         self._endpoints: dict[int, PlayerEndpoint] = {}
         self._served_by: dict[int, str] = {}
         self._games: dict[int, Game] = {}
+        # Per-player session state, indirected so failover can redirect
+        # a player to a new server mid-run (the tick loop re-reads these
+        # every segment interval).
+        self._encoders: dict[int, SegmentEncoder] = {}
+        self._serving: dict[int, StreamingServer] = {}
+        self._l_r: dict[int, float] = {}
+        self._player_hosts: dict[int, int] = {}
+        self._sn_service: Optional[SupernodeAssignment] = None
+        #: Chaos machinery — constructed only when ``config.faults`` is
+        #: armed; unarmed sessions carry three ``None``s and pay nothing.
+        self.chaos: Optional[SessionChaos] = None
+        self.failover: Optional[FailoverController] = None
+        self.injector: Optional[FaultInjector] = None
         # A fresh, deterministic generator per session: two variants run
         # over the same population MUST see the identical workload (game
         # choices, tick phases), or A/B comparisons are meaningless.
@@ -276,6 +301,17 @@ class GamingSession:
             sn_service = SupernodeAssignment(
                 lat, pop.supernode_host_ids, sn_caps,
                 pop.datacenter_ids, cfg.assignment)
+        self._sn_service = sn_service
+        if cfg.faults is not None:
+            self.failover = FailoverController(
+                self.env, cfg.failover,
+                is_up=self._server_is_up,
+                reattach=self._reattach_player,
+                migrate=self._migrate_player,
+                obs=self.obs)
+            self.chaos = SessionChaos(self, cfg.faults, self.failover)
+            self.injector = FaultInjector(
+                self.env, cfg.faults, self.chaos, obs=self.obs)
         edge_service: Optional[SupernodeAssignment] = None
         if self.variant.uses_edge_servers and self._edge_host_ids.size:
             from dataclasses import replace
@@ -334,10 +370,15 @@ class GamingSession:
                 stats_after_s=cfg.warmup_s,
                 obs=self.obs,
             )
-            server.attach_player(pid, encoder, endpoint.deliver,
+            deliver = (endpoint.deliver if self.chaos is None
+                       else self.chaos.make_deliver(pid, endpoint, site_host))
+            server.attach_player(pid, encoder, deliver,
                                  downstream_s, path_rate)
             self._endpoints[pid] = endpoint
             self._served_by[pid] = served_by
+            self._encoders[pid] = encoder
+            self._serving[pid] = server
+            self._player_hosts[pid] = host
 
             # l_r: player action -> serving site holds the game state.
             if served_by == "supernode":
@@ -349,26 +390,117 @@ class GamingSession:
                 # Cloud/edge compute locally at the serving site.
                 l_r = (lat.one_way_s(host, site_host)
                        + self.cloud.compute_delay_s)
-            self.env.process(self._player_loop(pid, server, l_r, served_by))
+            self._l_r[pid] = l_r
+            self.env.process(self._player_loop(pid))
 
         if self.variant.uses_fog:
             self.env.process(self._cloud_update_loop())
+        if self.injector is not None:
+            self.injector.arm()
+
+    # -- failover callables -------------------------------------------------------
+    def _server_is_up(self, host_id: int) -> bool:
+        """Probe whether a host is currently able to serve."""
+        server = self._servers.get(host_id)
+        return server is not None and not server.crashed
+
+    def _attach_to(self, player_id: int, server: StreamingServer,
+                   site_host: int) -> None:
+        """(Re)connect a player to ``server`` with a fresh delivery epoch.
+
+        Bumping the epoch first makes every wrapper from the previous
+        attachment a silent sink, so segments still in flight from the
+        old server can never reach a migrated player.
+        """
+        lat = self.population.latency
+        host = self._player_hosts[player_id]
+        endpoint = self._endpoints[player_id]
+        downstream_s = lat.one_way_s(site_host, host)
+        path_rate = lat.path_throughput_bps(site_host, host)
+        self.chaos.bump_epoch(player_id)
+        deliver = self.chaos.make_deliver(player_id, endpoint, site_host)
+        server.attach_player(player_id, self._encoders[player_id], deliver,
+                             downstream_s, path_rate)
+        endpoint.server = server
+        endpoint.feedback_delay_s = downstream_s
+        self._serving[player_id] = server
+
+    def _reattach_player(self, player_id: int, host_id: int) -> bool:
+        """Reconnect a player to its recovered server (same placement)."""
+        server = self._servers.get(host_id)
+        if server is None or server.crashed:
+            return False
+        self._attach_to(player_id, server, host_id)
+        return True
+
+    def _migrate_player(self, player_id: int) -> str:
+        """Move a player to the next-best supernode, or direct cloud.
+
+        Re-runs the §III-A-3 assignment protocol; crashed supernodes
+        are excluded from the candidate table via ``mark_failed``, so
+        the player lands on the best *live* option or falls back to its
+        nearest datacenter.
+        """
+        pop = self.population
+        lat = pop.latency
+        host = self._player_hosts[player_id]
+        game = self._games[player_id]
+        served_by = "cloud"
+        result = None
+        if self._sn_service is not None:
+            self._sn_service.release(host)
+            result = self._sn_service.assign(host, game.latency_req_s)
+            if result.uses_supernode:
+                served_by = "supernode"
+                site_host = result.supernode_host_id
+            else:
+                site_host = result.datacenter_host_id
+        else:
+            dc_lat = lat.one_way_matrix_s(
+                np.array([host]), pop.datacenter_ids)[0]
+            site_host = int(pop.datacenter_ids[int(np.argmin(dc_lat))])
+        server = self._get_server(
+            site_host, "supernode" if served_by == "supernode" else "dc")
+        if server.crashed:  # pragma: no cover - mark_failed prevents this
+            if self._sn_service is not None:
+                self._sn_service.release(host)
+            served_by = "cloud"
+            site_host = (result.datacenter_host_id if result is not None
+                         else site_host)
+            server = self._get_server(site_host, "dc")
+        self._attach_to(player_id, server, site_host)
+        if served_by == "supernode":
+            nearest_dc = result.datacenter_host_id
+            l_r = self.cloud.action_to_update_delay_s(
+                lat.one_way_s(host, nearest_dc),
+                lat.one_way_s(nearest_dc, site_host))
+        else:
+            l_r = (lat.one_way_s(host, site_host)
+                   + self.cloud.compute_delay_s)
+        self._l_r[player_id] = l_r
+        self._served_by[player_id] = served_by
+        return served_by
 
     # -- processes ----------------------------------------------------------------
-    def _player_loop(self, player_id: int, server: StreamingServer,
-                     l_r: float, served_by: str):
-        """Generate one segment per cadence tick for ``player_id``."""
+    def _player_loop(self, player_id: int):
+        """Generate one segment per cadence tick for ``player_id``.
+
+        The serving server and l_r are re-read from the per-player
+        tables every tick, so a failover migration redirects the very
+        next segment without touching this process.
+        """
         cfg = self.config
         rng = self._rng
         # Random phase so players' ticks interleave instead of bursting.
         yield self.env.timeout(float(rng.uniform(0, cfg.segment_interval_s)))
         while self.env.now < cfg.duration_s:
             action_time = self.env.now
+            server = self._serving[player_id]
 
-            def start_render(_ev, action_time=action_time):
+            def start_render(_ev, action_time=action_time, server=server):
                 server.render_and_send(player_id, action_time)
 
-            ev = self.env.timeout(l_r)
+            ev = self.env.timeout(self._l_r[player_id])
             ev.callbacks.append(start_render)
             yield self.env.timeout(cfg.segment_interval_s)
 
@@ -393,7 +525,7 @@ class GamingSession:
         outcomes = []
         for pid, endpoint in self._endpoints.items():
             stats = endpoint.stats
-            encoder = endpoint.server.encoders.get(pid)
+            encoder = self._encoders.get(pid)
             outcomes.append(PlayerOutcome(
                 player_id=pid,
                 game_id=endpoint.game.game_id,
@@ -416,6 +548,17 @@ class GamingSession:
             s.bytes_sent for h, s in self._servers.items() if h in edge_set)
         self.cloud.account_stream(dc_stream)
 
+        fault_stats: Optional[dict] = None
+        if self.chaos is not None:
+            fault_stats = {
+                **self.failover.stats(),
+                "injected": self.injector.injected,
+                "cleared": self.injector.cleared,
+                "skipped": self.injector.skipped,
+                "stale_suppressed": self.chaos.stale_suppressed,
+                "segments_lost_to_faults": self.chaos.segments_lost_to_faults,
+            }
+
         return SessionResult(
             variant=self.variant,
             duration_s=cfg.duration_s,
@@ -424,6 +567,7 @@ class GamingSession:
             cloud_stream_bytes=dc_stream,
             supernode_bytes=sn_bytes,
             edge_bytes=edge_bytes,
+            fault_stats=fault_stats,
         )
 
 

@@ -336,6 +336,41 @@ class DeadlineSenderBuffer:
                 p_in=self._p_in, p_out=self._p_out,
                 p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
 
+    def flush(self, now_s: float) -> int:
+        """Drop every queued segment (the serving host crashed).
+
+        Live packets move from pending to dropped in one step; already
+        fully-dropped entries are simply discarded. One ``buffer.flush``
+        event carries the updated conservation ledger — the EDF-order
+        checker treats it as a queue reset, so post-recovery dequeues
+        are not compared against deadlines that died in the crash.
+        Returns the number of live segments lost.
+        """
+        self._last_now = now_s
+        lost = 0
+        dropped_packets = 0
+        had_entries = self._head < len(self._queue)
+        for entry in self._live_entries():
+            if entry.dropped_whole:
+                continue
+            dropped_packets += entry.segment.drop_all()
+            entry.dropped_whole = True
+            lost += 1
+        self._queue.clear()
+        self._head = 0
+        if lost:
+            self._c_packets_dropped.inc(dropped_packets)
+            self._c_segments_fully_dropped.inc(lost)
+            self._p_pend -= dropped_packets
+        self._g_queue_len.set(0)
+        if self._obs is not None and had_entries:
+            self._obs.emit(
+                now_s, self.component, "buffer.flush",
+                disc="edf", segments=lost, packets=dropped_packets,
+                qlen=0, p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._c_packets_dropped.value, p_pend=self._p_pend)
+        return lost
+
     def preceding_bytes(self, segment: VideoSegment) -> float:
         """np_i — bytes of segments ahead of ``segment`` in send order."""
         total = 0.0

@@ -90,6 +90,9 @@ class StreamingServer:
         registry = obs.metrics if obs is not None else MetricsRegistry()
         self._c_bytes_sent = registry.counter("server.bytes_sent")
         self._c_segments_sent = registry.counter("server.segments_sent")
+        #: Set by the fault injector; a crashed server has no encoders or
+        #: routes, so rendering and sending degrade to no-ops.
+        self.crashed = False
         self._wake: Optional[Event] = None
         self._proc = env.process(self._sender_loop())
 
@@ -136,6 +139,37 @@ class StreamingServer:
     @property
     def n_players(self) -> int:
         return len(self._routes)
+
+    # -- failure injection ---------------------------------------------------
+    def fail(self, now_s: float | None = None) -> int:
+        """Crash the server: flush the queue, forget players.
+
+        Queued segments are dropped through the buffer's flush path with
+        full packet accounting; encoders and routes are cleared so
+        rendering for former players degrades to a no-op. A segment
+        already being serialized keeps its captured route and still
+        arrives (it was in flight when the host died). Cold path — only
+        the fault injector calls this. Returns the segments lost.
+        """
+        if self.crashed:
+            return 0
+        now = self.env.now if now_s is None else now_s
+        lost = self.buffer.flush(now)
+        self.encoders.clear()
+        self._routes.clear()
+        self.crashed = True
+        if self._obs is not None:
+            self._obs.emit(now, self.component, "server.fail",
+                           segments_lost=lost)
+        return lost
+
+    def recover(self) -> None:
+        """Bring a crashed server back, empty and playerless."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        if self._obs is not None:
+            self._obs.emit(self.env.now, self.component, "server.recover")
 
     # -- pipeline --------------------------------------------------------------
     def render_and_send(self, player_id: int, action_time_s: float) -> None:

@@ -197,6 +197,17 @@ def _run_dynamic(scale: float, seed: int, p: dict) -> dict:
     return _fragments(result.series())
 
 
+def _run_chaos_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+    cfg = ChaosConfig(duration_s=p["duration_s"])
+    out = run_chaos(scale, int(p["task_seed"]), preset=p["preset"],
+                    intensity=int(p["intensity"]), config=cfg)
+    fs = out["fault_stats"] or {}
+    return {"value": out["continuity"],
+            "recoveries": fs.get("recoveries", 0),
+            "mean_recovery_time_s": fs.get("mean_recovery_time_s")}
+
+
 #: Picklable dispatch table: runner name -> fn(scale, seed, params).
 TASK_RUNNERS = {
     "coverage_dc": _run_coverage_dc,
@@ -213,6 +224,7 @@ TASK_RUNNERS = {
     "gameworld_update": _run_gameworld_update,
     "gameworld_partition": _run_gameworld_partition,
     "dynamic": _run_dynamic,
+    "chaos_point": _run_chaos_point,
 }
 
 
@@ -449,6 +461,42 @@ def _decompose_dynamic(scale, seed):
                       {"duration_s": _session_duration_s(scale)})]
 
 
+#: Fault presets swept by the chaos figure (``none`` is covered by the
+#: zero-intensity point of every preset).
+_CHAOS_PRESETS = ("crash", "crash-recover", "partition", "storm")
+#: Intensity 0 is the armed-but-empty baseline — byte-identical to a
+#: fault-free run, anchoring each preset's curve at the no-fault QoE.
+_CHAOS_INTENSITIES = (0, 1, 2)
+
+
+def _chaos_duration_s(scale: float) -> float:
+    # Long enough that a mid-run crash has room to detect + recover.
+    return 12.0 if scale < 0.5 else 30.0
+
+
+def _decompose_chaos(scale, seed):
+    duration = _chaos_duration_s(scale)
+    return [
+        SweepTask("chaos", (preset, intensity), "chaos_point",
+                  {"preset": preset, "intensity": intensity,
+                   "task_seed": int(seed), "duration_s": duration})
+        for preset in _CHAOS_PRESETS
+        for intensity in _CHAOS_INTENSITIES
+    ]
+
+
+def _merge_chaos(scale, seed, ordered):
+    res = dict(ordered)
+    series = []
+    for preset in _CHAOS_PRESETS:
+        s = FigureSeries(label=preset, x_label="fault intensity",
+                         y_label="playback continuity")
+        for intensity in _CHAOS_INTENSITIES:
+            s.add(intensity, res[(preset, intensity)]["value"])
+        series.append(s)
+    return series
+
+
 def _spec(name: str, description: str, tags: tuple[str, ...],
           decompose, merge=_merge_fragments) -> ExperimentSpec:
     return ExperimentSpec(name=name, description=description, tags=tags,
@@ -527,6 +575,9 @@ _register(_spec(
 _register(_spec(
     "dynamic", "join/leave-driven CloudFog time series", ("extension",),
     _decompose_dynamic))
+_register(_spec(
+    "chaos", "QoE under deterministic fault injection", ("extension", "chaos"),
+    _decompose_chaos, _merge_chaos))
 
 
 def get_spec(name: str) -> ExperimentSpec:

@@ -1,0 +1,387 @@
+"""Declarative, seed-deterministic fault plans (the chaos DSL).
+
+A :class:`FaultPlan` is an immutable, JSON-roundtrippable description of
+*what goes wrong and when* in one simulated run: supernode crashes (with
+optional recovery), link latency spikes, packet-loss bursts, bandwidth
+throttling and regional partitions. Plans are pure values — building one
+touches no RNG and no simulation state — so the same plan plus the same
+master seed always produces the same run, byte for byte.
+
+Fault targets are *load ranks*, not host ids: ``supernode=0`` means "the
+busiest supernode at the moment the fault fires" (ties broken by host
+id). Plans therefore stay meaningful across population scales and always
+hit servers that are actually serving players — a crash plan written for
+``--scale 1.0`` still bites at ``--scale 0.02``. An explicit
+``host_id``-targeted variant is available for microcosm tests.
+
+The :class:`PlanBuilder` provides the fluent spelling::
+
+    plan = (PlanBuilder(seed=7)
+            .crash(at_s=5.0, recover_after_s=10.0)
+            .loss_burst(at_s=8.0, duration_s=2.0, loss_fraction=0.3)
+            .build())
+
+and :func:`preset_plan` names the canned scenarios the CLI and the CI
+chaos smoke job use. :meth:`FaultPlan.random` draws a reproducible
+random plan from a seed — the generator behind the Hypothesis chaos
+properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class SupernodeCrash:
+    """A supernode dies at ``at_s`` (and optionally comes back).
+
+    ``supernode`` is a load rank (0 = busiest at crash time) unless
+    ``host_id`` is given, which pins an explicit topology host. A crash
+    flushes the server's sender buffer (queued segments are lost with
+    full packet accounting), detaches every served player and removes
+    the node from the assignment candidate table until recovery.
+    """
+
+    at_s: float
+    supernode: int = 0
+    recover_at_s: Optional[float] = None
+    host_id: Optional[int] = None
+
+    kind = "crash"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.supernode < 0:
+            raise ValueError("supernode rank must be nonnegative")
+        if self.recover_at_s is not None and self.recover_at_s <= self.at_s:
+            raise ValueError("recovery must come after the crash")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkLatencySpike:
+    """Extra one-way propagation delay on serving paths for a window.
+
+    Applies ``extra_s`` to every established route of the targeted
+    supernode (rank, explicit host, or all servers when ``supernode`` is
+    ``None``) during ``[at_s, at_s + duration_s)``.
+    """
+
+    at_s: float
+    duration_s: float
+    extra_s: float
+    supernode: Optional[int] = None
+    host_id: Optional[int] = None
+
+    kind = "latency"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.duration_s <= 0:
+            raise ValueError("spike duration must be positive")
+        if self.extra_s <= 0:
+            raise ValueError("extra latency must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PacketLossBurst:
+    """Segments on targeted paths are lost with a fixed probability.
+
+    Losses draw from the plan's own seeded RNG stream, so a given
+    ``(plan, master seed)`` pair always loses the same segments.
+    """
+
+    at_s: float
+    duration_s: float
+    loss_fraction: float
+    supernode: Optional[int] = None
+    host_id: Optional[int] = None
+
+    kind = "loss"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.duration_s <= 0:
+            raise ValueError("burst duration must be positive")
+        if not 0.0 < self.loss_fraction <= 1.0:
+            raise ValueError("loss fraction must lie in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthThrottle:
+    """The targeted server's uplink rate is scaled by ``factor``."""
+
+    at_s: float
+    duration_s: float
+    factor: float
+    supernode: Optional[int] = None
+    host_id: Optional[int] = None
+
+    kind = "throttle"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.duration_s <= 0:
+            raise ValueError("throttle duration must be positive")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError("throttle factor must lie in (0, 1)")
+
+
+@dataclass(frozen=True, slots=True)
+class RegionalPartition:
+    """The busiest ``fraction`` of supernodes lose all player traffic.
+
+    Every segment toward players served by the partitioned supernodes is
+    dropped for the window — the fog side of a regional network split.
+    The partition *heals*: traffic resumes at ``at_s + duration_s``.
+    """
+
+    at_s: float
+    duration_s: float
+    fraction: float
+
+    kind = "partition"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault time must be nonnegative")
+        if self.duration_s <= 0:
+            raise ValueError("partition duration must be positive")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("partition fraction must lie in (0, 1]")
+
+
+#: Every fault kind the DSL knows, keyed by its ``kind`` tag.
+FAULT_KINDS = {
+    cls.kind: cls
+    for cls in (SupernodeCrash, LinkLatencySpike, PacketLossBurst,
+                BandwidthThrottle, RegionalPartition)
+}
+
+Fault = Any  # any of the classes above (structural; no common base needed)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable set of faults plus the loss-RNG seed.
+
+    The empty plan is the explicit no-op: arming it schedules nothing
+    and a run with it armed is byte-identical (series, trace digest,
+    metrics) to a run with no injector attached at all — the regression
+    tests guard exactly that.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    #: Seeds the plan's private loss/jitter RNG stream (only consumed
+    #: while a loss burst or partition is actually active).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if type(f).__name__ not in {c.__name__
+                                        for c in FAULT_KINDS.values()}:
+                raise TypeError(f"not a fault: {f!r}")
+        object.__setattr__(
+            self, "faults",
+            tuple(sorted(self.faults, key=lambda f: (f.at_s, f.kind))))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def horizon_s(self) -> float:
+        """Time of the last scheduled fault edge (0.0 when empty)."""
+        edges = [f.at_s for f in self.faults]
+        edges += [f.at_s + f.duration_s for f in self.faults
+                  if hasattr(f, "duration_s")]
+        edges += [f.recover_at_s for f in self.faults
+                  if getattr(f, "recover_at_s", None) is not None]
+        return max(edges, default=0.0)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Stable JSON-able form (kind-tagged fault records)."""
+        records = []
+        for f in self.faults:
+            rec = {"kind": f.kind}
+            for name in f.__dataclass_fields__:
+                value = getattr(f, name)
+                if value is not None:
+                    rec[name] = value
+            records.append(rec)
+        return {"seed": self.seed, "faults": records}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (unknown kinds raise)."""
+        faults = []
+        for rec in payload.get("faults", ()):
+            rec = dict(rec)
+            kind = rec.pop("kind", None)
+            fault_cls = FAULT_KINDS.get(kind)
+            if fault_cls is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            faults.append(fault_cls(**rec))
+        return cls(faults=tuple(faults), seed=int(payload.get("seed", 0)))
+
+    # -- generators ---------------------------------------------------------
+    @classmethod
+    def random(cls, seed: int, horizon_s: float = 20.0,
+               n_faults: int = 3,
+               kinds: Iterable[str] = ("crash", "latency", "loss",
+                                       "throttle", "partition"),
+               ) -> "FaultPlan":
+        """A reproducible random plan: same arguments ⇒ same plan.
+
+        Draws from its own ``default_rng(seed)`` stream, so generating a
+        plan never perturbs any simulation RNG. Fault times land in
+        ``[0.1, 0.8] × horizon`` so windows close before the run ends.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if n_faults < 0:
+            raise ValueError("fault count must be nonnegative")
+        kinds = tuple(kinds)
+        for k in kinds:
+            if k not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {k!r}")
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at = float(rng.uniform(0.1, 0.8) * horizon_s)
+            dur = float(rng.uniform(0.05, 0.2) * horizon_s)
+            if kind == "crash":
+                recover = (at + dur if rng.uniform() < 0.5 else None)
+                faults.append(SupernodeCrash(
+                    at_s=at, supernode=int(rng.integers(3)),
+                    recover_at_s=recover))
+            elif kind == "latency":
+                faults.append(LinkLatencySpike(
+                    at_s=at, duration_s=dur,
+                    extra_s=float(rng.uniform(0.02, 0.2))))
+            elif kind == "loss":
+                faults.append(PacketLossBurst(
+                    at_s=at, duration_s=dur,
+                    loss_fraction=float(rng.uniform(0.05, 0.6))))
+            elif kind == "throttle":
+                faults.append(BandwidthThrottle(
+                    at_s=at, duration_s=dur,
+                    factor=float(rng.uniform(0.2, 0.8))))
+            else:
+                faults.append(RegionalPartition(
+                    at_s=at, duration_s=dur,
+                    fraction=float(rng.uniform(0.1, 0.5))))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class PlanBuilder:
+    """Fluent construction of a :class:`FaultPlan`."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._faults: list[Fault] = []
+
+    def crash(self, at_s: float, supernode: int = 0,
+              recover_after_s: Optional[float] = None,
+              host_id: Optional[int] = None) -> "PlanBuilder":
+        recover = None if recover_after_s is None else at_s + recover_after_s
+        self._faults.append(SupernodeCrash(
+            at_s=at_s, supernode=supernode, recover_at_s=recover,
+            host_id=host_id))
+        return self
+
+    def latency_spike(self, at_s: float, duration_s: float, extra_s: float,
+                      supernode: Optional[int] = None,
+                      host_id: Optional[int] = None) -> "PlanBuilder":
+        self._faults.append(LinkLatencySpike(
+            at_s=at_s, duration_s=duration_s, extra_s=extra_s,
+            supernode=supernode, host_id=host_id))
+        return self
+
+    def loss_burst(self, at_s: float, duration_s: float,
+                   loss_fraction: float,
+                   supernode: Optional[int] = None,
+                   host_id: Optional[int] = None) -> "PlanBuilder":
+        self._faults.append(PacketLossBurst(
+            at_s=at_s, duration_s=duration_s, loss_fraction=loss_fraction,
+            supernode=supernode, host_id=host_id))
+        return self
+
+    def throttle(self, at_s: float, duration_s: float, factor: float,
+                 supernode: Optional[int] = None,
+                 host_id: Optional[int] = None) -> "PlanBuilder":
+        self._faults.append(BandwidthThrottle(
+            at_s=at_s, duration_s=duration_s, factor=factor,
+            supernode=supernode, host_id=host_id))
+        return self
+
+    def partition(self, at_s: float, duration_s: float,
+                  fraction: float = 0.3) -> "PlanBuilder":
+        self._faults.append(RegionalPartition(
+            at_s=at_s, duration_s=duration_s, fraction=fraction))
+        return self
+
+    def build(self) -> FaultPlan:
+        return FaultPlan(faults=tuple(self._faults), seed=self._seed)
+
+
+#: Preset names understood by :func:`preset_plan` (CLI ``--preset``).
+PRESETS = ("none", "crash", "crash-recover", "partition", "storm")
+
+
+def preset_plan(name: str, horizon_s: float, intensity: int = 1,
+                seed: int = 0) -> FaultPlan:
+    """A canned plan scaled to one run's horizon.
+
+    ``intensity`` multiplies the fault count (e.g. crash the ``k``
+    busiest supernodes). Crashes land at 30 % of the horizon, staggered
+    so failovers do not all resolve in lockstep; recoveries (where the
+    preset has them) leave room for reconnection before the run ends.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if intensity < 0:
+        raise ValueError("intensity must be nonnegative")
+    b = PlanBuilder(seed=seed)
+    t0 = 0.3 * horizon_s
+    stagger = 0.05 * horizon_s
+    if name == "none" or intensity == 0:
+        return b.build()
+    if name == "crash":
+        for k in range(intensity):
+            b.crash(at_s=t0 + k * stagger, supernode=k)
+    elif name == "crash-recover":
+        for k in range(intensity):
+            b.crash(at_s=t0 + k * stagger, supernode=k,
+                    recover_after_s=0.25 * horizon_s)
+    elif name == "partition":
+        b.partition(at_s=t0, duration_s=0.25 * horizon_s,
+                    fraction=min(1.0, 0.2 * intensity))
+    elif name == "storm":
+        b.latency_spike(at_s=0.15 * horizon_s,
+                        duration_s=0.2 * horizon_s, extra_s=0.05)
+        b.loss_burst(at_s=0.25 * horizon_s, duration_s=0.15 * horizon_s,
+                     loss_fraction=0.25)
+        b.throttle(at_s=0.45 * horizon_s, duration_s=0.2 * horizon_s,
+                   factor=0.5)
+        for k in range(intensity):
+            b.crash(at_s=t0 + k * stagger, supernode=k,
+                    recover_after_s=0.3 * horizon_s)
+    else:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {PRESETS}")
+    return b.build()

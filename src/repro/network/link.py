@@ -17,6 +17,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
 
+def degrade_rate(target, factor: float, attr: str = "rate_bps") -> float:
+    """Scale a link-like object's rate by ``factor``; returns the
+    original value for :func:`restore_rate`.
+
+    Works on anything exposing a rate attribute (:class:`Link`,
+    :class:`UplinkPort`, a streaming server's ``uplink_rate_bps``); the
+    fault injector's bandwidth throttle is built on this pair.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError("degrade factor must lie in (0, 1]")
+    original = getattr(target, attr)
+    setattr(target, attr, original * factor)
+    return original
+
+
+def restore_rate(target, original: float, attr: str = "rate_bps") -> None:
+    """Undo :func:`degrade_rate` exactly (no float round-tripping)."""
+    setattr(target, attr, original)
+
+
 class Link:
     """A point-to-point path with a rate and a propagation delay.
 
@@ -50,6 +70,20 @@ class Link:
     def transfer(self, size_bytes: float):
         """Process generator: wait out a full transfer of ``size_bytes``."""
         yield self.env.timeout(self.delivery_time_s(size_bytes))
+
+    def degrade(self, rate_factor: float = 1.0,
+                extra_propagation_s: float = 0.0) -> tuple[float, float]:
+        """Apply a reversible degradation; returns a restore token."""
+        if extra_propagation_s < 0:
+            raise ValueError("extra propagation must be nonnegative")
+        token = (self.rate_bps, self.propagation_s)
+        degrade_rate(self, rate_factor)
+        self.propagation_s += extra_propagation_s
+        return token
+
+    def restore(self, token: tuple[float, float]) -> None:
+        """Undo :meth:`degrade` exactly."""
+        self.rate_bps, self.propagation_s = token
 
 
 class UplinkPort:

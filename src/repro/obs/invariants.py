@@ -116,6 +116,12 @@ class EdfOrderChecker(InvariantChecker):
     def check(self, event: TraceEvent) -> None:
         if event.data.get("disc") != "edf":
             return
+        if event.kind == "buffer.flush":
+            # A crash flush empties the queue wholesale; deadlines that
+            # died in the flush must not constrain post-recovery
+            # dequeues.
+            self._heaps.pop(event.component, None)
+            return
         heap = self._heaps.setdefault(event.component, [])
         if event.kind == "buffer.enqueue":
             heapq.heappush(heap, event.data["deadline"])

@@ -38,6 +38,7 @@ class FifoSenderBuffer:
         # Packet-conservation ledger (audited by the invariant checkers).
         self._p_in = 0
         self._p_out = 0
+        self._p_drop = 0
         self._p_pend = 0
         self._last_now = 0.0
 
@@ -75,7 +76,7 @@ class FifoSenderBuffer:
                 disc="fifo", player=segment.player_id,
                 deadline=segment.deadline_s, packets=packets,
                 qlen=len(self._queue),
-                p_in=self._p_in, p_out=self._p_out, p_drop=0,
+                p_in=self._p_in, p_out=self._p_out, p_drop=self._p_drop,
                 p_pend=self._p_pend)
 
     def dequeue(self, now_s: Optional[float] = None, *,
@@ -102,9 +103,34 @@ class FifoSenderBuffer:
                 disc="fifo", player=segment.player_id,
                 deadline=segment.deadline_s, packets=packets,
                 qlen=len(self._queue),
-                p_in=self._p_in, p_out=self._p_out, p_drop=0,
+                p_in=self._p_in, p_out=self._p_out, p_drop=self._p_drop,
                 p_pend=self._p_pend)
         return segment
+
+    def flush(self, now_s: float) -> int:
+        """Drop every queued segment (the serving host crashed).
+
+        Pending packets move to the dropped column in one step, and a
+        single ``buffer.flush`` event carries the updated conservation
+        ledger. Returns the number of segments lost.
+        """
+        self._last_now = now_s
+        lost = 0
+        dropped_packets = 0
+        while self._queue:
+            segment = self._queue.popleft()
+            dropped_packets += segment.drop_all()
+            lost += 1
+        self._p_pend -= dropped_packets
+        self._p_drop += dropped_packets
+        self._g_queue_len.set(0)
+        if self._obs is not None and lost:
+            self._obs.emit(
+                now_s, self.component, "buffer.flush",
+                disc="fifo", segments=lost, packets=dropped_packets,
+                qlen=0, p_in=self._p_in, p_out=self._p_out,
+                p_drop=self._p_drop, p_pend=self._p_pend)
+        return lost
 
     def peek(self) -> Optional[VideoSegment]:
         """Next segment to send without removing it."""

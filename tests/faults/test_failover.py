@@ -1,0 +1,145 @@
+"""FailoverController state machine: detect, backoff, reconnect, migrate."""
+
+import pytest
+
+from repro.faults.failover import FailoverController, FailoverParams
+
+
+class Harness:
+    """Controller wired to scriptable stubs, with a call log."""
+
+    def __init__(self, env, params=None, up_after=None, migrate_to="supernode"):
+        self.env = env
+        #: host id -> time from which is_up turns True (None = never).
+        self.up_after = up_after or {}
+        self.migrate_to = migrate_to
+        self.log = []
+        self.controller = FailoverController(
+            env, params or FailoverParams(),
+            is_up=self._is_up, reattach=self._reattach,
+            migrate=self._migrate)
+
+    def _is_up(self, host):
+        t = self.up_after.get(host)
+        return t is not None and self.env.now >= t
+
+    def _reattach(self, pid, host):
+        self.log.append(("reattach", pid, host, self.env.now))
+        return True
+
+    def _migrate(self, pid):
+        self.log.append(("migrate", pid, self.env.now))
+        return self.migrate_to
+
+
+class TestReconnect:
+    def test_server_back_before_retries_exhausted(self, env):
+        # Crash at t=0, server back at t=0.3: detect at 0.25, first
+        # probe fails, retry after 0.1 backoff finds it up at 0.35.
+        h = Harness(env, up_after={7: 0.3})
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        c = h.controller
+        assert c.reconnects == 1
+        assert c.retries == 1
+        assert c.migrations == 0
+        assert h.log == [("reattach", 1, 7, 0.35)]
+        assert c.recovery_times_s == [pytest.approx(0.35)]
+        assert c.in_progress == 0
+
+    def test_server_up_at_first_probe(self, env):
+        h = Harness(env, up_after={7: 0.0})
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        assert h.controller.reconnects == 1
+        assert h.controller.retries == 0
+        assert h.controller.recovery_times_s == [pytest.approx(0.25)]
+
+
+class TestMigration:
+    def test_exhausted_retries_migrate_with_exponential_backoff(self, env):
+        # Probes at 0.25, 0.35, 0.55, 0.95 (backoffs 0.1/0.2/0.4), then
+        # the 0.05 s switch: recovery completes at exactly 1.0.
+        h = Harness(env)
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        c = h.controller
+        assert c.detections == 1
+        assert c.retries == 3
+        assert c.migrations == 1
+        assert c.reconnects == 0
+        assert h.log == [("migrate", 1, 1.0)]
+        assert c.recovery_times_s == [pytest.approx(1.0)]
+
+    def test_cloud_fallback_counted_separately(self, env):
+        h = Harness(env, migrate_to="cloud")
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        assert h.controller.cloud_fallbacks == 1
+        assert h.controller.migrations == 0
+        assert h.controller.recoveries == 1
+
+    def test_unplaceable_player_is_abandoned(self, env):
+        h = Harness(env, migrate_to=None)
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        assert h.controller.abandoned == 1
+        assert h.controller.recoveries == 0
+        assert h.controller.in_progress == 0
+
+    def test_many_players_recover_independently(self, env):
+        h = Harness(env)
+        for pid in range(5):
+            h.controller.on_server_down(pid, 7, 0.0)
+        env.run(until=5.0)
+        assert h.controller.recoveries == 5
+        assert sorted(e[1] for e in h.log) == list(range(5))
+
+
+class TestBookkeeping:
+    def test_duplicate_crash_report_is_noop(self, env):
+        h = Harness(env)
+        h.controller.on_server_down(1, 7, 0.0)
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        assert h.controller.detections == 1
+        assert h.controller.recoveries == 1
+
+    def test_downtime_closes_on_first_delivery(self, env):
+        h = Harness(env)
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        h.controller.note_delivery(1, 1.4)
+        h.controller.note_delivery(1, 2.0)  # second delivery: no-op
+        assert h.controller.downtimes_s == [pytest.approx(1.4)]
+
+    def test_delivery_without_pending_recovery_is_noop(self, env):
+        h = Harness(env)
+        h.controller.note_delivery(1, 1.0)
+        assert h.controller.downtimes_s == []
+
+    def test_stats_shape(self, env):
+        h = Harness(env)
+        h.controller.on_server_down(1, 7, 0.0)
+        env.run(until=5.0)
+        stats = h.controller.stats()
+        assert stats["recoveries"] == 1
+        assert stats["mean_recovery_time_s"] == pytest.approx(1.0)
+        assert stats["max_recovery_time_s"] == pytest.approx(1.0)
+        assert stats["in_progress"] == 0
+        assert stats["mean_downtime_s"] is None
+
+
+class TestParams:
+    def test_backoff_growth(self):
+        p = FailoverParams(base_backoff_s=0.1, backoff_multiplier=2.0)
+        assert [p.backoff_s(i) for i in range(3)] == pytest.approx(
+            [0.1, 0.2, 0.4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="backoff"):
+            FailoverParams(base_backoff_s=0.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            FailoverParams(backoff_multiplier=0.5)
+        with pytest.raises(ValueError, match="retries"):
+            FailoverParams(max_retries=-1)

@@ -1,0 +1,104 @@
+"""FaultInjector: plan edges become kernel events, and nothing more."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    PacketLossBurst,
+    PlanBuilder,
+    SupernodeCrash,
+)
+
+
+class RecordingHandler:
+    """FaultHandler stub that logs (edge, kind, time) tuples."""
+
+    def __init__(self, skip_kinds=()):
+        self.calls = []
+        self.skip_kinds = set(skip_kinds)
+
+    def apply(self, fault, now_s):
+        self.calls.append(("apply", fault.kind, now_s))
+        if fault.kind in self.skip_kinds:
+            return None
+        return fault
+
+    def clear(self, fault, token, now_s):
+        assert token is fault
+        self.calls.append(("clear", fault.kind, now_s))
+
+
+class TestArming:
+    def test_empty_plan_schedules_nothing(self, env):
+        handler = RecordingHandler()
+        injector = FaultInjector(env, FaultPlan(), handler)
+        assert injector.arm() == 0
+        env.run(until=10.0)
+        assert handler.calls == []
+        assert (injector.injected, injector.cleared,
+                injector.skipped) == (0, 0, 0)
+
+    def test_double_arm_raises(self, env):
+        injector = FaultInjector(env, FaultPlan(), RecordingHandler())
+        injector.arm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()
+
+    def test_fault_in_the_past_rejected(self, env):
+        env.run(until=2.0)
+        plan = FaultPlan(faults=(SupernodeCrash(at_s=1.0),))
+        with pytest.raises(ValueError, match="in the past"):
+            FaultInjector(env, plan, RecordingHandler()).arm()
+
+
+class TestEdges:
+    def test_windowed_fault_fires_apply_then_clear(self, env):
+        handler = RecordingHandler()
+        plan = FaultPlan(faults=(
+            PacketLossBurst(at_s=1.0, duration_s=2.0, loss_fraction=0.3),))
+        injector = FaultInjector(env, plan, handler)
+        assert injector.arm() == 1
+        env.run(until=10.0)
+        assert handler.calls == [
+            ("apply", "loss", 1.0), ("clear", "loss", 3.0)]
+        assert (injector.injected, injector.cleared) == (1, 1)
+
+    def test_crash_without_recovery_never_clears(self, env):
+        handler = RecordingHandler()
+        plan = FaultPlan(faults=(SupernodeCrash(at_s=1.0),))
+        FaultInjector(env, plan, handler).arm()
+        env.run(until=10.0)
+        assert handler.calls == [("apply", "crash", 1.0)]
+
+    def test_crash_with_recovery_clears_at_recover_time(self, env):
+        handler = RecordingHandler()
+        plan = FaultPlan(faults=(
+            SupernodeCrash(at_s=1.0, recover_at_s=4.0),))
+        FaultInjector(env, plan, handler).arm()
+        env.run(until=10.0)
+        assert handler.calls == [
+            ("apply", "crash", 1.0), ("clear", "crash", 4.0)]
+
+    def test_unapplicable_fault_is_skipped(self, env):
+        handler = RecordingHandler(skip_kinds={"crash"})
+        plan = FaultPlan(faults=(
+            SupernodeCrash(at_s=1.0, recover_at_s=4.0),))
+        injector = FaultInjector(env, plan, handler)
+        injector.arm()
+        env.run(until=10.0)
+        # apply was attempted, but no clear edge was scheduled.
+        assert handler.calls == [("apply", "crash", 1.0)]
+        assert (injector.injected, injector.skipped) == (0, 1)
+
+    def test_multi_fault_plan_fires_in_order(self, env):
+        handler = RecordingHandler()
+        plan = (PlanBuilder()
+                .throttle(at_s=2.0, duration_s=1.0, factor=0.5)
+                .crash(at_s=1.0)
+                .loss_burst(at_s=0.5, duration_s=4.0, loss_fraction=0.1)
+                .build())
+        FaultInjector(env, plan, handler).arm()
+        env.run(until=10.0)
+        applies = [c for c in handler.calls if c[0] == "apply"]
+        assert [c[2] for c in applies] == [0.5, 1.0, 2.0]

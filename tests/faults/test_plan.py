@@ -1,0 +1,139 @@
+"""FaultPlan DSL: validation, ordering, serialization, presets."""
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PRESETS,
+    BandwidthThrottle,
+    FaultPlan,
+    LinkLatencySpike,
+    PacketLossBurst,
+    PlanBuilder,
+    RegionalPartition,
+    SupernodeCrash,
+    preset_plan,
+)
+
+
+class TestFaultValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            SupernodeCrash(at_s=-1.0)
+
+    def test_recovery_must_follow_crash(self):
+        with pytest.raises(ValueError, match="after the crash"):
+            SupernodeCrash(at_s=5.0, recover_at_s=5.0)
+
+    def test_spike_needs_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            LinkLatencySpike(at_s=1.0, duration_s=0.0, extra_s=0.05)
+
+    def test_loss_fraction_bounds(self):
+        with pytest.raises(ValueError, match="loss fraction"):
+            PacketLossBurst(at_s=1.0, duration_s=1.0, loss_fraction=0.0)
+        with pytest.raises(ValueError, match="loss fraction"):
+            PacketLossBurst(at_s=1.0, duration_s=1.0, loss_fraction=1.5)
+
+    def test_throttle_factor_open_interval(self):
+        with pytest.raises(ValueError, match="factor"):
+            BandwidthThrottle(at_s=1.0, duration_s=1.0, factor=1.0)
+
+    def test_partition_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            RegionalPartition(at_s=1.0, duration_s=1.0, fraction=0.0)
+
+    def test_faults_are_immutable(self):
+        crash = SupernodeCrash(at_s=1.0)
+        with pytest.raises(AttributeError):
+            crash.at_s = 2.0
+
+    def test_kind_registry_covers_every_class(self):
+        assert set(FAULT_KINDS) == {
+            "crash", "latency", "loss", "throttle", "partition"}
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert list(plan) == []
+        assert plan.horizon_s() == 0.0
+
+    def test_faults_sorted_by_time(self):
+        plan = FaultPlan(faults=(
+            SupernodeCrash(at_s=9.0),
+            RegionalPartition(at_s=2.0, duration_s=1.0, fraction=0.5),
+            PacketLossBurst(at_s=5.0, duration_s=1.0, loss_fraction=0.2),
+        ))
+        assert [f.at_s for f in plan] == [2.0, 5.0, 9.0]
+
+    def test_non_fault_rejected(self):
+        with pytest.raises(TypeError, match="not a fault"):
+            FaultPlan(faults=("boom",))
+
+    def test_horizon_includes_clear_edges(self):
+        plan = FaultPlan(faults=(
+            SupernodeCrash(at_s=1.0, recover_at_s=8.0),
+            PacketLossBurst(at_s=2.0, duration_s=3.0, loss_fraction=0.1),
+        ))
+        assert plan.horizon_s() == 8.0
+
+    def test_roundtrip_through_dict(self):
+        plan = (PlanBuilder(seed=11)
+                .crash(at_s=3.0, supernode=1, recover_after_s=4.0)
+                .latency_spike(at_s=1.0, duration_s=2.0, extra_s=0.05)
+                .loss_burst(at_s=2.0, duration_s=1.0, loss_fraction=0.3)
+                .throttle(at_s=4.0, duration_s=1.0, factor=0.5)
+                .partition(at_s=5.0, duration_s=1.0, fraction=0.4)
+                .build())
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict({"faults": [{"kind": "meteor", "at_s": 1.0}]})
+
+    def test_none_fields_omitted_from_dict(self):
+        plan = FaultPlan(faults=(SupernodeCrash(at_s=1.0),))
+        (rec,) = plan.to_dict()["faults"]
+        assert "recover_at_s" not in rec
+        assert "host_id" not in rec
+
+    def test_random_plan_reproducible(self):
+        a = FaultPlan.random(seed=3, horizon_s=10.0, n_faults=5)
+        b = FaultPlan.random(seed=3, horizon_s=10.0, n_faults=5)
+        assert a == b
+        assert len(a) == 5
+        assert FaultPlan.random(seed=4, horizon_s=10.0, n_faults=5) != a
+
+    def test_random_plan_respects_kind_filter(self):
+        plan = FaultPlan.random(seed=1, n_faults=8, kinds=("loss",))
+        assert all(f.kind == "loss" for f in plan)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.random(seed=1, kinds=("meteor",))
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            plan = preset_plan(name, horizon_s=12.0, intensity=1, seed=0)
+            assert plan.horizon_s() <= 12.0
+
+    def test_zero_intensity_is_empty(self):
+        for name in PRESETS:
+            assert preset_plan(name, horizon_s=12.0, intensity=0).is_empty
+
+    def test_intensity_scales_crashes(self):
+        plan = preset_plan("crash", horizon_s=12.0, intensity=3)
+        assert len(plan) == 3
+        assert {f.supernode for f in plan} == {0, 1, 2}
+
+    def test_crash_recover_has_recovery(self):
+        (crash,) = preset_plan("crash-recover", horizon_s=12.0)
+        assert crash.recover_at_s is not None
+        assert crash.recover_at_s > crash.at_s
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_plan("meteor", horizon_s=12.0)

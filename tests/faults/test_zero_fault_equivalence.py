@@ -1,0 +1,75 @@
+"""Armed-but-empty fault plan ⇒ byte-identical to no injector at all.
+
+This is the PR's hardest acceptance bar: constructing the whole chaos
+stack (controller, injector, delivery wrappers) with an empty plan must
+not add a single kernel event, RNG draw, trace emission or metric — the
+trace digest, metrics snapshot and every per-player outcome must match a
+run where ``SessionConfig.faults`` is ``None`` exactly.
+"""
+
+import pytest
+
+import repro.obs as obs_mod
+from repro.core.infrastructure import (
+    SessionConfig,
+    SystemVariant,
+    simulate_sessions,
+)
+from repro.experiments.scenarios import peersim_scenario
+from repro.faults.plan import FaultPlan
+from repro.obs import Observability, TraceRecorder, default_checkers
+
+
+def traced_session(faults):
+    scen = peersim_scenario(0.02, seed=7)
+    pop = scen.build()
+    online = scen.online_sample(pop)
+    obs = Observability(trace=TraceRecorder(), checkers=default_checkers())
+    with obs_mod.use(obs):
+        cfg = SessionConfig(duration_s=6.0, warmup_s=2.0, faults=faults)
+        result = simulate_sessions(pop, SystemVariant.CLOUDFOG_A, online,
+                                   cfg, obs=obs)
+    return obs, result
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return traced_session(None), traced_session(FaultPlan())
+
+
+class TestZeroFaultEquivalence:
+    def test_trace_digest_identical(self, runs):
+        (obs_none, _), (obs_empty, _) = runs
+        assert len(obs_none.trace) > 0
+        assert obs_none.digest() == obs_empty.digest()
+
+    def test_metrics_snapshot_identical(self, runs):
+        (obs_none, _), (obs_empty, _) = runs
+        snap = obs_none.metrics.snapshot()
+        assert snap == obs_empty.metrics.snapshot()
+        # No failover instruments may exist: they are created lazily on
+        # the first handled failure, which never happened.
+        assert not any(name.startswith("failover.") for name in snap)
+
+    def test_outcomes_identical(self, runs):
+        (_, res_none), (_, res_empty) = runs
+        a = [(o.player_id, o.served_by, o.continuity, o.mean_latency_s,
+              o.satisfied, o.segments_received, o.final_quality_level)
+             for o in res_none.outcomes]
+        b = [(o.player_id, o.served_by, o.continuity, o.mean_latency_s,
+              o.satisfied, o.segments_received, o.final_quality_level)
+             for o in res_empty.outcomes]
+        assert a == b
+
+    def test_byte_counters_identical(self, runs):
+        (_, res_none), (_, res_empty) = runs
+        assert res_none.cloud_stream_bytes == res_empty.cloud_stream_bytes
+        assert res_none.supernode_bytes == res_empty.supernode_bytes
+
+    def test_fault_stats_present_only_when_armed(self, runs):
+        (_, res_none), (_, res_empty) = runs
+        assert res_none.fault_stats is None
+        fs = res_empty.fault_stats
+        assert fs["injected"] == 0
+        assert fs["detections"] == 0
+        assert fs["stale_suppressed"] == 0

@@ -104,6 +104,43 @@ class TestParallelExecutionDeterminism:
         assert obs1.metrics.snapshot() == obs4.metrics.snapshot()
 
 
+class TestChaosParallelDeterminism:
+    """The chaos figure (seeded fault injection + failover) must keep
+    the jobs=1/jobs=4 parity guarantee: faults fire, players migrate,
+    and the merged result is still byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def chaos_parity_runs(self):
+        def run(jobs):
+            obs = Observability(trace=TraceRecorder(),
+                                checkers=default_checkers())
+            series = run_experiment("chaos", scale=SCALE, seed=5, obs=obs,
+                                    jobs=jobs)
+            return series, obs
+
+        return run(1), run(4)
+
+    def test_series_byte_identical(self, chaos_parity_runs):
+        (serial, _), (parallel, _) = chaos_parity_runs
+        assert ([s.to_dict() for s in serial]
+                == [s.to_dict() for s in parallel])
+
+    def test_trace_digest_identical(self, chaos_parity_runs):
+        (_, obs1), (_, obs4) = chaos_parity_runs
+        assert obs1.digest() == obs4.digest()
+        assert len(obs1.trace) == len(obs4.trace) > 0
+
+    def test_metrics_snapshot_identical(self, chaos_parity_runs):
+        (_, obs1), (_, obs4) = chaos_parity_runs
+        assert obs1.metrics.snapshot() == obs4.metrics.snapshot()
+
+    def test_faults_actually_fired(self, chaos_parity_runs):
+        (_, obs1), _ = chaos_parity_runs
+        kinds = {e.kind for e in obs1.trace}
+        assert "fault.inject" in kinds
+        assert "failover.recover" in kinds
+
+
 class TestObservabilityIsOptIn:
     def test_unobserved_run_matches_observed_series(self):
         plain = run_experiment("fig8a", scale=SCALE, seed=5)
