@@ -22,6 +22,15 @@ Examples
                                       # injection: crash the busiest
                                       # supernode, report failover and
                                       # QoE under live invariant checks
+    cloudfog all --cache-dir ~/.cache/cloudfog --resume
+                                      # finish an interrupted sweep:
+                                      # the crash-safe journal skips
+                                      # every checkpointed task
+    cloudfog fig9a --jobs 4 --task-timeout 120 --keep-going
+                                      # watchdog + salvage: hung tasks
+                                      # are cancelled and retried;
+                                      # persistent failures are
+                                      # reported, completed points kept
 """
 
 from __future__ import annotations
@@ -31,9 +40,26 @@ import json
 import sys
 import time
 
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    run_experiment,
+    run_results,
+)
 from repro.metrics.series import print_series
 from repro.streaming.video import QUALITY_LADDER
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for --jobs: a non-negative int (0 = all cores)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
 
 
 def _print_ladder() -> None:
@@ -64,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=42, help="master RNG seed")
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
         help="run sweep tasks on N worker processes (0 = all cores); "
              "results are byte-identical to --jobs 1 (default 1)")
     parser.add_argument(
@@ -74,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache-dir (force fresh execution)")
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry a crashed/raising/hung sweep task up to N times "
+             "with exponential backoff (default 2; 0 = fail fast)")
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-task wall-clock budget: with --jobs > 1, a watchdog "
+             "terminates hung workers and reschedules their tasks "
+             "(default: no timeout)")
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="on task failure, salvage completed sweep points and "
+             "report the failed ones instead of aborting the run")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its journal (requires "
+             "--cache-dir): only tasks not yet checkpointed execute")
     parser.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="emit series as JSON (stable to_dict schema) to PATH, or "
@@ -273,24 +316,49 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.experiment == "ladder":
         _print_ladder()
         return 0
+
+    from repro.experiments.resilience import ResilienceConfig, SweepFailure
 
     cache = None
     if args.cache_dir and not args.no_cache:
         from repro.experiments.cache import ResultCache
         cache = ResultCache(args.cache_dir)
+    if args.resume and cache is None:
+        parser.error("--resume requires --cache-dir (the run journal "
+                     "lives next to the result cache)")
+    resilience = ResilienceConfig(
+        max_retries=args.retries,
+        timeout_s=args.task_timeout,
+        keep_going=args.keep_going,
+    )
 
     t0 = time.time()
-    if args.experiment == "all":
-        results = run_all(scale=args.scale, seed=args.seed,
-                          jobs=args.jobs, cache=cache)
-    else:
-        results = {args.experiment: run_experiment(
-            args.experiment, scale=args.scale, seed=args.seed,
-            jobs=args.jobs, cache=cache)}
+    names = (list(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    run_results_by_name = {}
+    try:
+        for name in names:
+            run_results_by_name.update(run_results(
+                name, scale=args.scale, seed=args.seed, jobs=args.jobs,
+                cache=cache, resilience=resilience, resume=args.resume))
+    except SweepFailure as exc:
+        print("sweep failed:", file=sys.stderr)
+        print(exc.report(), file=sys.stderr)
+        print("(completed tasks are cached and journalled; re-run with "
+              "--cache-dir to pick them up, or add --keep-going to "
+              "salvage partial results)", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed tasks were checkpointed; "
+              "re-run with --cache-dir and --resume to finish the sweep",
+              file=sys.stderr)
+        return 130
+    results = {name: r.series for name, r in run_results_by_name.items()}
 
     if args.json is not None:
         payload = {
@@ -314,10 +382,24 @@ def main(argv: list[str] | None = None) -> int:
         for name, series in results.items():
             print_series(series, title=name)
     if cache is not None:
-        print(f"[cache] {cache.hits} hits, {cache.misses} misses "
+        errors = f", {cache.errors} errors" if cache.errors else ""
+        print(f"[cache] {cache.hits} hits, {cache.misses} misses{errors} "
               f"({len(cache)} entries in {cache.root})")
+    resumed = sum(r.tasks_resumed for r in run_results_by_name.values())
+    retried = sum(r.tasks_retried for r in run_results_by_name.values())
+    if resumed or retried:
+        print(f"[resilience] {resumed} task(s) restored from the run "
+              f"journal, {retried} retried")
+    failures = [f for r in run_results_by_name.values()
+                for f in r.failures]
     print(f"\n[{time.time() - t0:.1f}s, scale={args.scale}, "
           f"seed={args.seed}, jobs={args.jobs}]")
+    if failures:
+        print(f"partial results: {len(failures)} sweep task(s) failed "
+              f"after retries:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f.describe()}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -128,6 +128,21 @@ class RunResult:
     #: Task accounting.
     tasks_total: int = 0
     tasks_cached: int = 0
+    #: Resilience accounting: tasks that exhausted their retry budget
+    #: (non-empty only in keep-going mode — otherwise the run raised),
+    #: attempts beyond the first across all tasks, and tasks satisfied
+    #: from a previous (interrupted) run's journal on ``resume``.
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_resumed: int = 0
+    #: Structured per-task failure taxonomy
+    #: (:class:`repro.experiments.resilience.TaskFailure` values).
+    failures: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every task produced a payload."""
+        return self.tasks_failed == 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able summary (series use the stable schema)."""
@@ -138,6 +153,10 @@ class RunResult:
             "elapsed_s": self.elapsed_s,
             "tasks_total": self.tasks_total,
             "tasks_cached": self.tasks_cached,
+            "tasks_failed": self.tasks_failed,
+            "tasks_retried": self.tasks_retried,
+            "tasks_resumed": self.tasks_resumed,
+            "failures": [f.to_dict() for f in self.failures],
         }
 
 

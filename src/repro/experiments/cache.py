@@ -12,7 +12,11 @@ merged metrics as a cold run.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers
 sharing a cache directory cannot corrupt entries; a torn or unreadable
-entry is treated as a miss and rewritten.
+entry is treated as a miss and rewritten, and additionally counted in
+:attr:`ResultCache.errors` so corruption is observable instead of
+folded silently into the miss count. Opening a cache sweeps ``*.tmp``
+droppings left by workers killed between ``mkstemp`` and
+``os.replace``.
 """
 
 from __future__ import annotations
@@ -37,18 +41,48 @@ class ResultCache:
         self.root = str(root)
         self.hits = 0
         self.misses = 0
+        #: Unreadable/torn entries served as misses, plus swallowed
+        #: write failures (unwritable cache directory).
+        self.errors = 0
+        #: Orphaned temp files removed when the cache was opened.
+        self.tmp_swept = 0
         os.makedirs(self.root, exist_ok=True)
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove ``*.tmp`` files abandoned by workers killed mid-put."""
+        try:
+            walker = os.walk(self.root)
+            for dirpath, _subdirs, files in walker:
+                for name in files:
+                    if name.endswith(".tmp"):
+                        try:
+                            os.unlink(os.path.join(dirpath, name))
+                            self.tmp_swept += 1
+                        except OSError:
+                            pass
+        except OSError:
+            pass
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], digest + ".json")
 
     def get(self, digest: str) -> Optional[dict[str, Any]]:
-        """The stored entry for ``digest``, or ``None`` on a miss."""
+        """The stored entry for ``digest``, or ``None`` on a miss.
+
+        An entry that exists but cannot be parsed (torn write, bad
+        permissions) is a miss *and* an error, so corruption shows up
+        in the accounting.
+        """
         try:
             with open(self._path(digest), "r", encoding="utf-8") as fp:
                 entry = json.load(fp)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            self.errors += 1
             return None
         self.hits += 1
         return entry
@@ -80,4 +114,4 @@ class ResultCache:
 
     def __repr__(self) -> str:
         return (f"<ResultCache {self.root!r} hits={self.hits} "
-                f"misses={self.misses}>")
+                f"misses={self.misses} errors={self.errors}>")

@@ -20,18 +20,42 @@ makes the decomposition sound in the first place.
 
 Caching: with a :class:`~repro.experiments.cache.ResultCache` attached,
 each task is looked up by the SHA-256 of its content-addressed cache
-material before executing and stored after; warm re-runs skip the
-simulation wholesale. Cache *reads* are disabled while an observability
-context is attached, because a cache hit cannot replay the trace events
-the context would have recorded (entries are still written, so a traced
-cold run warms the cache for later untraced runs).
+material before executing and stored **as soon as its result arrives**
+(completion order), so a crash late in a sweep never discards earlier
+tasks' entries; warm re-runs skip the simulation wholesale. Cache
+*reads* are disabled while an observability context is attached,
+because a cache hit cannot replay the trace events the context would
+have recorded (entries are still written, so a traced cold run warms
+the cache for later untraced runs).
+
+Resilience (see :mod:`repro.experiments.resilience`): every task runs
+under a :class:`~repro.experiments.resilience.ResilienceConfig` —
+bounded retries with exponential backoff for tasks that raise, a
+per-task wall-clock watchdog that terminates hung workers (``jobs>1``)
+and reschedules their tasks, and transparent pool rebuild after a
+worker crash (``BrokenProcessPool``). Because task payloads are pure
+functions of ``(task, scale, seed)``, a task that fails and then
+succeeds on retry yields a byte-identical series/trace/metrics digest
+to a run that never failed. With a cache attached, a crash-safe JSONL
+journal checkpoints each completed task so ``run_spec(..., resume=True)``
+(or ``cloudfog <exp> --resume``) re-executes only the remaining tasks
+after the harness itself is killed. Harness-level telemetry
+(``harness.retries``, ``harness.timeouts``, ``harness.worker_crashes``,
+``harness.pool_rebuilds``, ``harness.tasks_failed``, ...) is emitted to
+the ambient :mod:`repro.obs` context and deliberately kept *out* of the
+merged :class:`RunResult` metrics, which stay inside the determinism
+envelope.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
+from typing import Optional
 
 import repro.obs as obs_mod
 from repro import __version__
@@ -44,8 +68,25 @@ from repro.experiments.api import (
     series_digest,
 )
 from repro.experiments.cache import ResultCache, material_digest
+from repro.experiments.resilience import (
+    DEFAULT_RESILIENCE,
+    PoolManager,
+    ResilienceConfig,
+    RunJournal,
+    SweepFailure,
+    TaskFailure,
+    journal_path,
+    run_material,
+)
 from repro.obs import Observability, TraceRecorder
 from repro.obs.metrics import MetricsRegistry
+
+#: Failure kind -> harness stats counter name.
+_KIND_COUNTERS = {
+    "exception": "task_errors",
+    "timeout": "timeouts",
+    "worker-crash": "worker_crashes",
+}
 
 
 def execute_task(task: SweepTask, scale: float, seed: int,
@@ -59,7 +100,11 @@ def execute_task(task: SweepTask, scale: float, seed: int,
     :data:`repro.experiments.specs.TASK_RUNNERS`.
     """
     from repro.experiments.specs import TASK_RUNNERS
-    runner = TASK_RUNNERS[task.runner]
+    runner = TASK_RUNNERS.get(task.runner)
+    if runner is None:
+        raise KeyError(
+            f"unknown task runner {task.runner!r} "
+            f"(registered: {sorted(TASK_RUNNERS)})")
     task_obs = Observability(
         trace=TraceRecorder() if capture_trace else None)
     t0 = now()
@@ -89,9 +134,22 @@ def run_spec(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    resume: bool = False,
 ) -> RunResult:
-    """Execute one experiment spec and merge its tasks deterministically."""
+    """Execute one experiment spec and merge its tasks deterministically.
+
+    ``resilience`` sets the retry/timeout/keep-going policy (default:
+    :data:`~repro.experiments.resilience.DEFAULT_RESILIENCE`).
+    ``resume=True`` requires a cache and replays the run's journal so
+    only tasks not checkpointed by an earlier (killed) invocation
+    execute; the final result is byte-identical to an uninterrupted run.
+    """
     t_run = now()
+    cfg = resilience if resilience is not None else DEFAULT_RESILIENCE
+    if resume and cache is None:
+        raise ValueError("resume requires a result cache (the journal "
+                         "lives next to it)")
     jobs = resolve_jobs(jobs)
     tasks = spec.decompose(scale, seed)
     keys = [t.key for t in tasks]
@@ -103,6 +161,21 @@ def run_spec(
     capture = obs is not None and (obs.trace is not None
                                    or bool(obs.checkers))
     read_cache = cache is not None and obs is None
+
+    journal: Optional[RunJournal] = None
+    journal_done: set = set()
+    if cache is not None:
+        material = run_material(spec.name, scale, seed, __version__)
+        journal = RunJournal(journal_path(cache.root, material))
+        try:
+            journal_done = journal.start(material, resume=resume)
+        except OSError:
+            # Unwritable cache directory: run without checkpointing.
+            journal = None
+
+    stats = {"retries": 0, "task_errors": 0, "timeouts": 0,
+             "worker_crashes": 0, "pool_rebuilds": 0, "resumed": 0}
+    failures: list[TaskFailure] = []
 
     digests: list[Optional[str]] = [None] * len(tasks)
     results: list[Optional[TaskResult]] = [None] * len(tasks)
@@ -116,34 +189,61 @@ def run_spec(
             results[i] = TaskResult(task, entry["data"],
                                     metrics=entry.get("metrics", {}),
                                     cached=True)
+            if resume and digests[i] in journal_done:
+                stats["resumed"] += 1
         else:
             todo.append(i)
 
-    if jobs > 1 and len(todo) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            futures = [
-                (i, pool.submit(execute_task, tasks[i], scale, seed, capture))
-                for i in todo
-            ]
-            for i, future in futures:
-                data, metrics, events, elapsed = future.result()
-                results[i] = TaskResult(tasks[i], data, metrics, events,
-                                        elapsed)
-    else:
-        for i in todo:
-            data, metrics, events, elapsed = execute_task(
-                tasks[i], scale, seed, capture)
-            results[i] = TaskResult(tasks[i], data, metrics, events, elapsed)
+    def record(i: int, payload) -> None:
+        """Accept one task's result: store, cache and checkpoint it."""
+        data, metrics, events, elapsed = payload
+        results[i] = TaskResult(tasks[i], data, metrics, events, elapsed)
+        if cache is not None:
+            try:
+                cache.put(digests[i], {"data": data, "metrics": metrics,
+                                       "elapsed_s": elapsed})
+            except OSError:
+                cache.errors += 1
+            if journal is not None:
+                try:
+                    journal.record_task(digests[i], tasks[i].key, elapsed)
+                except OSError:
+                    pass
 
-    if cache is not None:
-        for i in todo:
-            r = results[i]
-            cache.put(digests[i], {"data": r.data, "metrics": r.metrics,
-                                   "elapsed_s": r.elapsed_s})
+    def dispose(i: int, attempt: int, kind: str,
+                message: str) -> Optional[float]:
+        """Account one failed attempt; returns the backoff delay before
+        the next attempt, or ``None`` when the task is terminally dead
+        (raises :class:`SweepFailure` unless keep-going)."""
+        stats[_KIND_COUNTERS[kind]] += 1
+        if attempt <= cfg.max_retries:
+            stats["retries"] += 1
+            return cfg.backoff_s(attempt)
+        failures.append(TaskFailure(kind, spec.name, tuple(tasks[i].key),
+                                    attempt, message))
+        if not cfg.keep_going:
+            raise SweepFailure(failures)
+        return None
+
+    try:
+        if jobs > 1 and len(todo) > 1:
+            _run_pooled(tasks, todo, scale, seed, capture,
+                        min(jobs, len(todo)), cfg, record, dispose, stats)
+        else:
+            _run_inline(tasks, todo, scale, seed, capture, cfg, record,
+                        dispose)
+    except BaseException:
+        # Crash-safe exit: every completed task was already cached and
+        # journalled in record(); just seal the file.
+        if journal is not None:
+            journal.close()
+        raise
 
     # Deterministic absorption: task order, regardless of worker count.
     merged = MetricsRegistry()
     for r in results:
+        if r is None:
+            continue
         if obs is not None:
             for (t, component, kind, data) in r.events:
                 obs.emit(t, component, kind, **data)
@@ -152,16 +252,192 @@ def run_spec(
         if r.metrics:
             merged.absorb_snapshot(r.metrics)
 
-    series = spec.merge(scale, seed, [(r.task.key, r.data) for r in results])
-    return RunResult(
+    done = [r for r in results if r is not None]
+    if failures:
+        stats["tasks_salvaged"] = len(done)
+    series = spec.merge(scale, seed, [(r.task.key, r.data) for r in done])
+    result = RunResult(
         name=spec.name,
         series=series,
         metrics=merged.snapshot(),
         digest=series_digest(series),
         elapsed_s=now() - t_run,
         tasks_total=len(tasks),
-        tasks_cached=sum(1 for r in results if r.cached),
+        tasks_cached=sum(1 for r in done if r.cached),
+        tasks_failed=len(failures),
+        tasks_retried=stats["retries"],
+        tasks_resumed=stats["resumed"],
+        failures=tuple(failures),
     )
+    if journal is not None:
+        try:
+            journal.complete(result.digest)
+        except OSError:
+            journal.close()
+
+    # Harness telemetry goes to the ambient obs context, never into the
+    # merged result metrics (those must match a run that never failed).
+    ctx = obs if obs is not None else obs_mod.current()
+    if ctx is not None:
+        if failures:
+            stats["tasks_failed"] = len(failures)
+        for name in sorted(stats):
+            if stats[name]:
+                ctx.metrics.inc(f"harness.{name}", stats[name])
+    return result
+
+
+def _run_inline(tasks, todo, scale, seed, capture, cfg, record, dispose):
+    """Serial execution with retry/backoff (no preemptive timeout: an
+    inline task cannot be cancelled, only a worker process can)."""
+    for i in todo:
+        attempt = 1
+        while True:
+            try:
+                payload = execute_task(tasks[i], scale, seed, capture)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                delay = dispose(i, attempt, "exception",
+                                f"{type(exc).__name__}: {exc}")
+                if delay is None:
+                    break
+                cfg.sleep(delay)
+                attempt += 1
+            else:
+                record(i, payload)
+                break
+
+
+def _run_pooled(tasks, todo, scale, seed, capture, workers, cfg, record,
+                dispose, stats):
+    """Pooled execution with watchdog timeouts, retry/backoff, pool
+    rebuild after worker crashes, and graceful SIGINT draining."""
+    pending = deque((i, 1) for i in todo)
+    backoff: list[tuple[float, int, int]] = []  # (ready_at, index, attempt)
+    inflight: dict = {}  # future -> (index, attempt, deadline)
+    mgr = PoolManager(workers)
+
+    interrupted: list[bool] = []
+    prev_handler = None
+    if threading.current_thread() is threading.main_thread():
+        try:
+            prev_handler = signal.signal(
+                signal.SIGINT, lambda _s, _f: interrupted.append(True))
+        except ValueError:  # pragma: no cover - non-main interpreter
+            prev_handler = None
+
+    def requeue_or_fail(i, attempt, kind, message):
+        delay = dispose(i, attempt, kind, message)
+        if delay is not None:
+            backoff.append((time.monotonic() + delay, i, attempt + 1))
+
+    def salvage_or(fut, fallback):
+        """Collect a future that finished despite pool trouble, else
+        apply ``fallback`` to its task."""
+        i, attempt, _deadline = inflight.pop(fut)
+        if fut.done() and not fut.cancelled():
+            try:
+                record(i, fut.result())
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException:
+                pass
+        fallback(i, attempt)
+
+    try:
+        while pending or backoff or inflight:
+            if interrupted:
+                raise KeyboardInterrupt
+            nowm = time.monotonic()
+            if backoff:
+                ready = sorted(b for b in backoff if b[0] <= nowm)
+                backoff = [b for b in backoff if b[0] > nowm]
+                pending.extend((i, att) for _t, i, att in ready)
+            while pending and len(inflight) < workers:
+                i, attempt = pending.popleft()
+                fut = mgr.submit(execute_task, tasks[i], scale, seed,
+                                 capture)
+                deadline = (time.monotonic() + cfg.timeout_s
+                            if cfg.timeout_s else None)
+                inflight[fut] = (i, attempt, deadline)
+            if not inflight:
+                wake = min(b[0] for b in backoff)
+                cfg.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            timeout = cfg.poll_interval_s
+            deadlines = [d for (_i, _a, d) in inflight.values()
+                         if d is not None]
+            if deadlines:
+                timeout = max(0.0, min(timeout,
+                                       min(deadlines) - time.monotonic()))
+            done, _ = wait(list(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            crashed = False
+            for fut in done:
+                i, attempt, _deadline = inflight.pop(fut)
+                try:
+                    payload = fut.result()
+                except BrokenExecutor as exc:
+                    crashed = True
+                    requeue_or_fail(
+                        i, attempt, "worker-crash",
+                        f"worker process died "
+                        f"({exc if str(exc) else 'BrokenProcessPool'})")
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    requeue_or_fail(i, attempt, "exception",
+                                    f"{type(exc).__name__}: {exc}")
+                else:
+                    record(i, payload)
+
+            if crashed:
+                # The pool is broken: every in-flight future is dead
+                # with it. Requeue them and stand up a fresh pool.
+                for fut in list(inflight):
+                    salvage_or(fut, lambda i, att: requeue_or_fail(
+                        i, att, "worker-crash",
+                        "worker process died (pool broke mid-task)"))
+                mgr.rebuild()
+                stats["pool_rebuilds"] = mgr.rebuilds
+
+            if cfg.timeout_s and inflight:
+                nowm = time.monotonic()
+                expired = [fut for fut, (_i, _a, d) in inflight.items()
+                           if d is not None and nowm >= d
+                           and not fut.done()]
+                if expired:
+                    # A hung worker cannot be cancelled individually:
+                    # fail the expired tasks, requeue the innocent
+                    # in-flight ones (no attempt penalty) and rebuild.
+                    for fut in expired:
+                        i, attempt, _deadline = inflight.pop(fut)
+                        requeue_or_fail(
+                            i, attempt, "timeout",
+                            f"exceeded per-task timeout of "
+                            f"{cfg.timeout_s}s")
+                    for fut in list(inflight):
+                        salvage_or(fut,
+                                   lambda i, att: pending.append((i, att)))
+                    mgr.rebuild()
+                    stats["pool_rebuilds"] = mgr.rebuilds
+
+            if interrupted:
+                # Graceful drain: completed futures above were already
+                # recorded (and journalled); abandon the rest.
+                raise KeyboardInterrupt
+    except BaseException:
+        mgr.shutdown(terminate=True)
+        raise
+    else:
+        mgr.shutdown()
+    finally:
+        if prev_handler is not None:
+            signal.signal(signal.SIGINT, prev_handler)
 
 
 def run_named(
@@ -172,8 +448,10 @@ def run_named(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    resume: bool = False,
 ) -> RunResult:
     """:func:`run_spec` by exact experiment key."""
     from repro.experiments.specs import get_spec
     return run_spec(get_spec(name), scale, seed, jobs=jobs, cache=cache,
-                    obs=obs)
+                    obs=obs, resilience=resilience, resume=resume)

@@ -1,0 +1,371 @@
+"""Resilience primitives for the sweep engine: failure taxonomy,
+retry/backoff policy, crash-safe run journal and process-pool recovery.
+
+This is the harness-level twin of :mod:`repro.faults`: the fog layer of
+the *simulated* system already detects crashed supernodes, retries with
+backoff and fails over; this module gives the experiment harness that
+produces the paper's figures the same discipline. The pieces:
+
+* :class:`TaskFailure` / :class:`SweepFailure` — structured taxonomy of
+  how a sweep task can die (``exception``, ``timeout``,
+  ``worker-crash``), with attempt counts, surfaced either on
+  :class:`~repro.experiments.api.RunResult.failures` (keep-going mode)
+  or raised as one readable report;
+* :class:`ResilienceConfig` — per-task wall-clock timeout, bounded
+  retries with exponential backoff, and the keep-going switch. Retried
+  tasks are pure functions of ``(task, scale, seed)``, so a task that
+  fails then succeeds on a later attempt produces a byte-identical
+  payload — the determinism contract survives recovery;
+* :class:`RunJournal` — an append-only JSONL manifest next to the
+  :class:`~repro.experiments.cache.ResultCache` that checkpoints every
+  completed task by its content-addressed digest (each record is
+  flushed and fsynced, so a crash can tear at most the final line).
+  ``run_spec(..., resume=True)`` replays the journal against the cache
+  and executes only the remaining tasks;
+* :class:`PoolManager` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  wrapper that transparently rebuilds the pool after
+  ``BrokenProcessPool`` (a SIGKILLed worker) and terminates hung
+  workers the watchdog gave up on;
+* :func:`flaky_probe` — the test-only fault-injection runner (crash /
+  hang / raise / kill-parent on the Nth attempt, tracked in a shared
+  state directory) that the resilience test-suite and the CI smoke use
+  to prove the recovery paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.experiments.cache import material_digest
+
+#: The three ways a sweep task can fail.
+FAILURE_KINDS = ("exception", "timeout", "worker-crash")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's terminal failure after its retry budget ran out."""
+
+    #: ``"exception"`` (the runner raised), ``"timeout"`` (the watchdog
+    #: cancelled a hung task) or ``"worker-crash"`` (the worker process
+    #: died and broke the pool).
+    kind: str
+    #: Experiment the task belongs to.
+    experiment: str
+    #: The task's ordered key within the experiment.
+    key: tuple
+    #: Total attempts made (first run + retries).
+    attempts: int
+    #: Human-readable cause (exception repr, timeout budget, ...).
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "experiment": self.experiment,
+            "key": list(self.key),
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+    def describe(self) -> str:
+        return (f"{self.experiment} task {tuple(self.key)}: {self.kind} "
+                f"after {self.attempts} attempt(s) — {self.message}")
+
+
+class SweepFailure(RuntimeError):
+    """A sweep task exhausted its retries (and keep-going was off).
+
+    Carries every :class:`TaskFailure` accumulated so far so the CLI
+    can print one structured report instead of a raw traceback.
+    """
+
+    def __init__(self, failures: list[TaskFailure]):
+        self.failures = list(failures)
+        super().__init__(self.report())
+
+    def report(self) -> str:
+        lines = [f"{len(self.failures)} sweep task(s) failed:"]
+        lines.extend(f"  - {f.describe()}" for f in self.failures)
+        return "\n".join(lines)
+
+
+@dataclass
+class ResilienceConfig:
+    """Retry/timeout/salvage policy for one :func:`run_spec` call.
+
+    ``timeout_s`` is enforced by the pooled path only (``jobs > 1``):
+    an inline task cannot be preempted, while a hung worker process can
+    be terminated and its task rescheduled. Backoff before attempt
+    ``n+1`` after ``n`` failures is ``backoff_base_s * backoff_factor**(n-1)``.
+    """
+
+    #: Retries after the first attempt (0 = fail fast). A task runs at
+    #: most ``max_retries + 1`` times.
+    max_retries: int = 2
+    #: First backoff delay; doubles (by default) per further failure.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: Per-task wall-clock budget for the watchdog (None = no timeout).
+    timeout_s: Optional[float] = None
+    #: Salvage completed tasks and report failures on the RunResult
+    #: instead of raising :class:`SweepFailure`.
+    keep_going: bool = False
+    #: Watchdog poll granularity.
+    poll_interval_s: float = 0.05
+    #: Injectable sleep (tests pin backoff wall-time to ~0).
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def backoff_s(self, failed_attempts: int) -> float:
+        """Delay before the attempt following ``failed_attempts`` failures."""
+        return self.backoff_base_s * (
+            self.backoff_factor ** max(0, failed_attempts - 1))
+
+
+#: Policy used when ``run_spec`` is called without an explicit config.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+def run_material(spec_name: str, scale: float, seed: int,
+                 version: str) -> dict[str, Any]:
+    """The content that identifies one run for journalling purposes."""
+    return {"experiment": spec_name, "scale": scale, "seed": seed,
+            "version": version}
+
+
+def journal_path(cache_root: str, material: dict[str, Any]) -> str:
+    """Where the journal for ``material``'s run lives under the cache."""
+    return os.path.join(cache_root, "journals",
+                        material_digest(material) + ".jsonl")
+
+
+class RunJournal:
+    """Append-only JSONL manifest of one run's completed tasks.
+
+    Record kinds::
+
+        {"kind": "run",  "run_id": ..., "material": {...}, "resumed": bool}
+        {"kind": "task", "digest": ..., "key": [...], "elapsed_s": ...}
+        {"kind": "end",  "digest": <RunResult.digest>}
+
+    Every record is written as one line, flushed and fsynced, so a
+    SIGKILL of the harness can tear at most the trailing line — which
+    the loader skips. A journal whose ``run`` header does not match the
+    resuming run's material is discarded and restarted from scratch.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._fp = None
+
+    def start(self, material: dict[str, Any], resume: bool = False) -> set:
+        """Open the journal; returns the completed digests to skip.
+
+        Fresh runs truncate any stale journal; ``resume`` replays a
+        matching journal and appends to it.
+        """
+        run_id = material_digest(material)
+        done: Optional[set] = None
+        if resume and os.path.exists(self.path):
+            done = self.load_completed(self.path, run_id)
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._fp = open(self.path, "a" if done else "w", encoding="utf-8")
+        self._write({"kind": "run", "run_id": run_id, "material": material,
+                     "resumed": bool(done)})
+        return done or set()
+
+    @staticmethod
+    def load_completed(path: str, run_id: str) -> Optional[set]:
+        """Completed task digests recorded for ``run_id``, or ``None``
+        when the journal belongs to a different run (or is unreadable)."""
+        done: set = set()
+        matched = False
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                for line in fp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn trailing line from a crash
+                    kind = rec.get("kind")
+                    if kind == "run":
+                        matched = rec.get("run_id") == run_id
+                    elif kind == "task" and matched:
+                        done.add(rec.get("digest"))
+        except OSError:
+            return None
+        return done if matched else None
+
+    def record_task(self, digest: str, key: tuple,
+                    elapsed_s: float = 0.0) -> None:
+        """Checkpoint one completed task (durable before returning)."""
+        self._write({"kind": "task", "digest": digest, "key": list(key),
+                     "elapsed_s": elapsed_s})
+
+    def complete(self, run_digest: str) -> None:
+        """Mark the run finished and close the journal."""
+        self._write({"kind": "end", "digest": run_digest})
+        self.close()
+
+    def close(self) -> None:
+        if self._fp is not None:
+            try:
+                self._fp.close()
+            finally:
+                self._fp = None
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._fp is None:
+            return
+        self._fp.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
+
+
+class PoolManager:
+    """A self-healing :class:`ProcessPoolExecutor` handle.
+
+    ``rebuild`` terminates the old pool's workers (dead after a crash,
+    or hung past the watchdog budget — either way unusable) and lazily
+    creates a fresh pool; ``submit`` retries through a broken executor
+    so callers never see ``BrokenProcessPool`` at submission time.
+    """
+
+    def __init__(self, max_workers: int):
+        self.max_workers = max_workers
+        self.rebuilds = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def submit(self, fn, *args):
+        try:
+            return self.pool.submit(fn, *args)
+        except BrokenExecutor:
+            self.rebuild()
+            return self.pool.submit(fn, *args)
+
+    def rebuild(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.rebuilds += 1
+        self._reap(pool)
+
+    def shutdown(self, terminate: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            self._reap(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _reap(pool: ProcessPoolExecutor) -> None:
+        # Kill workers first: a hung worker would otherwise stall
+        # shutdown (and interpreter exit) indefinitely.
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------
+# Test-only fault-injection runner
+# --------------------------------------------------------------------------
+
+def claim_attempt(state_dir: str, index: int) -> int:
+    """Atomically claim this invocation's attempt number for a task.
+
+    Uses ``O_CREAT | O_EXCL`` marker files so the count is correct
+    across worker processes and across a killed-and-resumed harness.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    n = 1
+    while True:
+        marker = os.path.join(state_dir, f"task{index}.attempt{n}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            n += 1
+            continue
+        os.close(fd)
+        return n
+
+
+def flaky_probe(scale: float, seed: int, p: dict) -> dict:
+    """Deterministically misbehaving task runner (fault-injection hook).
+
+    Registered in :data:`repro.experiments.specs.TASK_RUNNERS` so the
+    resilience tests and the CI smoke can build sweeps whose tasks
+    fail in controlled ways. Params:
+
+    ``mode``
+        ``ok`` (default), ``raise``, ``crash`` (SIGKILL own worker),
+        ``hang`` (sleep ``hang_s``), ``kill-parent`` (SIGKILL the
+        harness process, whose pid the harness wrote to ``pid_file`` —
+        simulates a dead parent for resume tests).
+    ``fail_attempts``
+        Misbehave while the attempt number (per ``state_dir``) is
+        ``<= fail_attempts``; succeed afterwards.
+    ``delegate`` / ``delegate_params``
+        After surviving the failure window, run a real registered
+        runner — lets tests assert trace/metrics determinism under
+        retry against an honest sweep.
+
+    The success payload is a pure function of the params (never of the
+    attempt number), which is what makes recovery byte-identical.
+    """
+    index = int(p.get("index", 0))
+    mode = p.get("mode", "ok")
+    attempt = (claim_attempt(p["state_dir"], index)
+               if p.get("state_dir") else 1)
+    if mode != "ok" and attempt <= int(p.get("fail_attempts", 1)):
+        if mode == "raise":
+            raise RuntimeError(
+                f"flaky_probe: injected failure (task {index}, "
+                f"attempt {attempt})")
+        if mode == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if mode == "hang":
+            time.sleep(float(p.get("hang_s", 3600.0)))
+            raise RuntimeError("flaky_probe: hang outlived its budget")
+        if mode == "kill-parent":
+            time.sleep(float(p.get("sleep_s", 0.0)))
+            # Never guess via getppid(): a cache-warmed sweep can run
+            # this task inline, where the "parent" is the test runner.
+            with open(p["pid_file"], "r", encoding="utf-8") as fp:
+                harness_pid = int(fp.read().strip())
+            os.kill(harness_pid, signal.SIGKILL)
+            if harness_pid != os.getpid():
+                os._exit(0)
+        raise ValueError(f"flaky_probe: unknown mode {mode!r}")
+    if p.get("sleep_s"):
+        time.sleep(float(p["sleep_s"]))
+    delegate = p.get("delegate")
+    if delegate:
+        from repro.experiments.specs import TASK_RUNNERS
+        return TASK_RUNNERS[delegate](scale, seed,
+                                      dict(p.get("delegate_params", {})))
+    from repro.metrics.series import FigureSeries
+    s = FigureSeries(label=p.get("label", "flaky"), x_label="task index",
+                     y_label="value")
+    s.add(index, float(p.get("value", index)))
+    return {"series": [s.to_dict()]}

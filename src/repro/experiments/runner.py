@@ -21,8 +21,10 @@ import difflib
 from typing import Callable, Optional
 
 import repro.obs as obs_mod
+from repro.experiments.api import RunResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import run_spec
+from repro.experiments.resilience import ResilienceConfig
 from repro.experiments.specs import SPECS, get_spec
 from repro.metrics.series import FigureSeries
 
@@ -76,6 +78,36 @@ def _make_cache(cache_dir: Optional[str]) -> Optional[ResultCache]:
     return ResultCache(cache_dir) if cache_dir else None
 
 
+def run_results(
+    name: str, scale: float = 0.1, seed: int = 42,
+    obs: Optional["obs_mod.Observability"] = None,
+    *,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    resume: bool = False,
+) -> dict[str, RunResult]:
+    """Run ``name`` (exact key or whole-figure prefix) and return the
+    full typed :class:`RunResult` per experiment key.
+
+    This is the surface the CLI uses: unlike :func:`run_experiment` it
+    preserves task accounting, digests and — in keep-going mode — the
+    structured :class:`~repro.experiments.resilience.TaskFailure` list
+    for partial results.
+    """
+    keys = resolve_experiments(name)
+    cache = cache if cache is not None else _make_cache(cache_dir)
+    results: dict[str, RunResult] = {}
+    for key in keys:
+        results[key] = run_spec(get_spec(key), scale, seed, jobs=jobs,
+                                cache=cache, obs=obs,
+                                resilience=resilience, resume=resume)
+    if obs is not None:
+        obs.finish()
+    return results
+
+
 def run_experiment(
     name: str, scale: float = 0.1, seed: int = 42,
     obs: Optional["obs_mod.Observability"] = None,
@@ -83,6 +115,8 @@ def run_experiment(
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
     cache: Optional[ResultCache] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    resume: bool = False,
 ) -> list[FigureSeries]:
     """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``
     or a whole-figure prefix (``"fig8"`` runs fig8a + fig8b).
@@ -94,17 +128,16 @@ def run_experiment(
     stream. With ``jobs > 1``, sweep tasks execute on a process pool;
     the result (series, digests, metrics) is byte-identical to
     ``jobs=1``. ``cache_dir`` enables the content-addressed result
-    cache so warm re-runs skip completed sweep points.
+    cache so warm re-runs skip completed sweep points. ``resilience``
+    and ``resume`` pass through to
+    :func:`repro.experiments.parallel.run_spec`.
     """
-    keys = resolve_experiments(name)
-    cache = cache if cache is not None else _make_cache(cache_dir)
+    results = run_results(name, scale, seed, obs, jobs=jobs,
+                          cache_dir=cache_dir, cache=cache,
+                          resilience=resilience, resume=resume)
     series: list[FigureSeries] = []
-    for key in keys:
-        result = run_spec(get_spec(key), scale, seed, jobs=jobs,
-                          cache=cache, obs=obs)
+    for result in results.values():
         series.extend(result.series)
-    if obs is not None:
-        obs.finish()
     return series
 
 
@@ -114,10 +147,13 @@ def run_all(
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
     cache: Optional[ResultCache] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    resume: bool = False,
 ) -> dict[str, list[FigureSeries]]:
     """Regenerate every figure's data (optionally parallel and cached)."""
     cache = cache if cache is not None else _make_cache(cache_dir)
     return {
-        name: run_experiment(name, scale, seed, jobs=jobs, cache=cache)
+        name: run_experiment(name, scale, seed, jobs=jobs, cache=cache,
+                             resilience=resilience, resume=resume)
         for name in EXPERIMENTS
     }

@@ -33,6 +33,7 @@ from repro.experiments import economics_exp as econ
 from repro.experiments import qoe
 from repro.experiments import satisfaction as sat
 from repro.experiments.api import ExperimentSpec, SweepTask, TaskKey
+from repro.experiments.resilience import flaky_probe
 from repro.experiments.scenarios import (
     Scenario,
     peersim_scenario,
@@ -225,6 +226,10 @@ TASK_RUNNERS = {
     "gameworld_partition": _run_gameworld_partition,
     "dynamic": _run_dynamic,
     "chaos_point": _run_chaos_point,
+    # Fault-injection hook (crashes/hangs/raises on the Nth attempt):
+    # referenced by the resilience test-suite and the CI smoke, kept in
+    # the registry so such tasks resolve inside worker processes.
+    "flaky_probe": flaky_probe,
 }
 
 

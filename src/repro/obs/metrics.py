@@ -149,6 +149,16 @@ class MetricsRegistry:
         self._instruments.append(h)
         return h
 
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        """Bump the counter ``name`` by ``amount`` in one call.
+
+        Registers a fresh instrument each time; snapshot-time
+        aggregation sums same-named counters, so callers that only
+        ever increment (the sweep harness's ``harness.*`` counters)
+        need not hold instrument objects.
+        """
+        self.counter(name).inc(amount)
+
     def absorb_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` produced elsewhere into this registry.
 

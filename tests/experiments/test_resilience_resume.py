@@ -1,0 +1,201 @@
+"""Crash-safe resume tests: the harness itself is killed and restarted.
+
+A subprocess runs a sweep whose fault-injecting task SIGKILLs the
+harness (or the test SIGINTs it) partway through; the journal next to
+the result cache must have checkpointed every completed task, and a
+``resume`` run must finish only the remaining work while producing a
+digest byte-identical to an uninterrupted run. This is the harness-level
+analogue of the supernode crash/failover chaos tests in tests/faults.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.api import ExperimentSpec, SweepTask
+from repro.experiments.cache import ResultCache, material_digest
+from repro.experiments.parallel import run_spec
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    RunJournal,
+    journal_path,
+    run_material,
+)
+from repro.experiments.specs import merge_series_fragments
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+SCALE = 0.02
+SEED = 7
+
+#: Harness subprocess: builds the spec from a shared params file so the
+#: in-process resume run addresses byte-identical cache/journal keys.
+HARNESS = textwrap.dedent("""
+    import json, sys
+    sys.path.insert(0, {src!r})
+    from repro.experiments.api import ExperimentSpec, SweepTask
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.parallel import run_spec
+    from repro.experiments.resilience import ResilienceConfig
+    from repro.experiments.specs import merge_series_fragments
+
+    import os
+    with open({pid_file!r}, "w", encoding="utf-8") as fp:
+        fp.write(str(os.getpid()))
+    with open({params!r}, "r", encoding="utf-8") as fp:
+        params = json.load(fp)
+    spec = ExperimentSpec(
+        name="resumable", description="d", tags=("t",),
+        decompose=lambda scale, seed: [
+            SweepTask("resumable", (p["index"],), "flaky_probe", p)
+            for p in params],
+        merge=lambda scale, seed, ordered: merge_series_fragments(ordered))
+    try:
+        run_spec(spec, {scale!r}, {seed!r}, jobs=2,
+                 cache=ResultCache({cache!r}),
+                 resilience=ResilienceConfig(max_retries=0,
+                                             backoff_base_s=0.001))
+    except KeyboardInterrupt:
+        sys.exit(130)
+    sys.exit(0)
+""")
+
+
+def build_params(tmp_path, killer=None, sleep_s=0.0, n=4):
+    params = []
+    for i in range(n):
+        p = {"index": i, "value": float(i * 10),
+             "state_dir": str(tmp_path / "state")}
+        if sleep_s:
+            p["sleep_s"] = sleep_s
+        if killer is not None and i == killer:
+            p.update({"mode": "kill-parent", "fail_attempts": 1,
+                      "sleep_s": 1.0,
+                      "pid_file": str(tmp_path / "harness.pid")})
+        params.append(p)
+    return params
+
+
+def spec_from_params(params):
+    return ExperimentSpec(
+        name="resumable", description="d", tags=("t",),
+        decompose=lambda scale, seed: [
+            SweepTask("resumable", (p["index"],), "flaky_probe", p)
+            for p in params],
+        merge=lambda scale, seed, ordered: merge_series_fragments(ordered))
+
+
+def launch_harness(tmp_path, params):
+    params_file = tmp_path / "params.json"
+    params_file.write_text(json.dumps(params))
+    script = HARNESS.format(src=os.path.abspath(SRC),
+                            params=str(params_file),
+                            scale=SCALE, seed=SEED,
+                            cache=str(tmp_path / "cache"),
+                            pid_file=str(tmp_path / "harness.pid"))
+    return subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+
+
+def journal_file(tmp_path):
+    material = run_material("resumable", SCALE, SEED, _version())
+    return journal_path(str(tmp_path / "cache"), material), \
+        material_digest(material)
+
+
+def _version():
+    from repro import __version__
+    return __version__
+
+
+def uninterrupted_digest(tmp_path, n=4):
+    clean = [{"index": i, "value": float(i * 10)} for i in range(n)]
+    return run_spec(spec_from_params(clean), SCALE, SEED, jobs=1).digest
+
+
+class TestParentKillResume:
+    def test_sigkilled_harness_resumes_to_identical_digest(self, tmp_path):
+        params = build_params(tmp_path, killer=2)
+        proc = launch_harness(tmp_path, params)
+        proc.wait(timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The journal checkpointed the tasks that finished pre-kill.
+        jpath, run_id = journal_file(tmp_path)
+        assert os.path.exists(jpath)
+        done = RunJournal.load_completed(jpath, run_id)
+        assert done and len(done) >= 2
+
+        # Resume in-process: only the remaining tasks execute (the
+        # killer's attempt counter has moved past its failure window).
+        resumed = run_spec(
+            spec_from_params(params), SCALE, SEED, jobs=2,
+            cache=ResultCache(str(tmp_path / "cache")), resume=True,
+            resilience=ResilienceConfig(max_retries=0,
+                                        backoff_base_s=0.001))
+        assert resumed.ok
+        assert resumed.tasks_resumed == len(done)
+        assert resumed.digest == uninterrupted_digest(tmp_path)
+        # And the journal now records the whole run.
+        assert len(RunJournal.load_completed(jpath, run_id)) == 4
+
+    def test_second_kill_then_resume_still_converges(self, tmp_path):
+        params = build_params(tmp_path, killer=2)
+        # fail_attempts=2: the killer strikes on resume as well.
+        params[2]["fail_attempts"] = 2
+        for expected_kill in (True, True):
+            proc = launch_harness(tmp_path, params)
+            proc.wait(timeout=120)
+            assert proc.returncode == -signal.SIGKILL
+        resumed = run_spec(
+            spec_from_params(params), SCALE, SEED, jobs=2,
+            cache=ResultCache(str(tmp_path / "cache")), resume=True,
+            resilience=ResilienceConfig(max_retries=0,
+                                        backoff_base_s=0.001))
+        assert resumed.ok
+        assert resumed.digest == uninterrupted_digest(tmp_path)
+
+
+class TestSigintDrain:
+    def test_sigint_flushes_journal_and_resume_completes(self, tmp_path):
+        params = build_params(tmp_path, sleep_s=0.8)
+        proc = launch_harness(tmp_path, params)
+        time.sleep(1.2)  # first worker batch done, second in flight
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 130, (out, err)
+
+        jpath, run_id = journal_file(tmp_path)
+        assert os.path.exists(jpath)
+        resumed = run_spec(
+            spec_from_params(params), SCALE, SEED, jobs=2,
+            cache=ResultCache(str(tmp_path / "cache")), resume=True,
+            resilience=ResilienceConfig(max_retries=0,
+                                        backoff_base_s=0.001))
+        assert resumed.ok
+        assert resumed.digest == uninterrupted_digest(tmp_path)
+
+
+class TestCliResume:
+    def test_resume_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig5a", "--resume"])
+        assert exc_info.value.code == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_resume_restores_from_journal(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["fig5a", "--scale", "0.01", "--seed", "3",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["fig5a", "--scale", "0.01", "--seed", "3",
+                     "--cache-dir", cache_dir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "[resilience] 5 task(s) restored from the run journal" in out

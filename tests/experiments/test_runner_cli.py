@@ -160,6 +160,18 @@ class TestCliParallelFlags:
         assert main(argv) == 0
         assert "[cache]" not in capsys.readouterr().out
 
-    def test_negative_jobs_rejected(self):
-        with pytest.raises(ValueError, match="jobs must be positive"):
+    def test_negative_jobs_rejected_at_parser(self, capsys):
+        # A clear argparse error, not a ValueError traceback out of
+        # resolve_jobs.
+        with pytest.raises(SystemExit) as exc_info:
             main(["fig5a", "--scale", "0.01", "--jobs", "-2"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "0 = all cores" in err
+
+    def test_non_integer_jobs_rejected_at_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig5a", "--jobs", "many"])
+        assert exc_info.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
