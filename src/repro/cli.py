@@ -309,6 +309,75 @@ def chaos_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_scale_parser() -> argparse.ArgumentParser:
+    from repro.core.cohort import FAULT_PRESETS
+    from repro.sim.engine import QUEUE_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="cloudfog scale",
+        description="Run the cohort-vectorised million-player kernel: "
+                    "one deterministic multi-region run, reporting "
+                    "P50/P95/P99 response latency, satisfaction, and "
+                    "kernel statistics.",
+    )
+    parser.add_argument(
+        "--players", type=int, default=100_000,
+        help="population size (default 100000; 1000000 works)")
+    parser.add_argument(
+        "--regions", type=int, default=8,
+        help="number of supernode regions (default 8)")
+    parser.add_argument(
+        "--ticks", type=int, default=120,
+        help="simulated playback ticks (default 120)")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--mode", choices=("cohort", "per-player"), default="cohort",
+        help="execution mode; traces are byte-identical (default cohort)")
+    parser.add_argument(
+        "--queue", choices=QUEUE_KINDS, default="calendar",
+        help="event-queue kind (default calendar)")
+    parser.add_argument(
+        "--faults", choices=FAULT_PRESETS, default="outage",
+        help="fault preset (default outage: one region fails over "
+             "for the middle third of the run)")
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the report as JSON to PATH ('-' = stdout)")
+    return parser
+
+
+def scale_main(argv: list[str] | None = None) -> int:
+    """``cloudfog scale``: one cohort-kernel run with a latency report."""
+    from repro.core.cohort import ScaleSpec, run_scale
+
+    parser = build_scale_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = ScaleSpec(
+            n_players=args.players, n_regions=args.regions,
+            n_ticks=args.ticks, seed=args.seed, mode=args.mode,
+            queue=args.queue, faults=args.faults)
+    except ValueError as exc:
+        parser.error(str(exc))
+    t0 = time.time()
+    report = run_scale(spec)
+    elapsed = time.time() - t0
+    if args.json is not None:
+        payload = report.to_dict()
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+            print(f"wrote scale report to {args.json}")
+    print(report.format_text())
+    print(f"[{elapsed:.1f}s, {report.events_scheduled} events, "
+          f"{report.events_scheduled / max(elapsed, 1e-9):,.0f} events/s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -316,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "scale":
+        return scale_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "ladder":

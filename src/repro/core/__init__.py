@@ -15,6 +15,7 @@
 
 from repro.core.adaptation import AdaptationParams, RateAdaptationController
 from repro.core.assignment import AssignmentParams, SupernodeAssignment, assign_players
+from repro.core.cohort import CohortKernel, ScaleReport, ScaleSpec, run_scale
 from repro.core.infrastructure import (
     GamingSession,
     SessionConfig,
@@ -26,13 +27,17 @@ from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
 __all__ = [
     "AdaptationParams",
     "AssignmentParams",
+    "CohortKernel",
     "DeadlineSenderBuffer",
     "GamingSession",
     "RateAdaptationController",
+    "ScaleReport",
+    "ScaleSpec",
     "SchedulingParams",
     "SessionConfig",
     "SupernodeAssignment",
     "SystemVariant",
     "assign_players",
+    "run_scale",
     "simulate_sessions",
 ]

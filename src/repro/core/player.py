@@ -4,11 +4,24 @@ A :class:`PlayerEndpoint` owns the receive side of one gaming session: the
 playback buffer (continuity and satisfaction accounting), the
 receiver-driven rate adaptation controller, and the feedback channel back
 to the serving server's encoder.
+
+For population-scale runs the per-object endpoint is replaced by
+:class:`PlayerCohort` — a structure-of-arrays batch holding the *same*
+per-player state (playback position, buffer level, quality tier) for
+every player at once, advanced in vectorised ticks. A player whose
+trajectory diverges from the batch (crash, failover, adaptation switch)
+is *materialised* into a :class:`MaterialisedPlayer`: an individual view
+driven by its own simulation events, but reading and writing the very
+same arrays through the very same advance kernel — which is what makes
+cohort and per-player execution byte-identical (DESIGN.md §11).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.core.adaptation import (
     AdaptationParams,
@@ -16,8 +29,10 @@ from repro.core.adaptation import (
     RateAdaptationController,
 )
 from repro.core.server import StreamingServer
+from repro.network.latency import RegionalLatency
 from repro.network.packet import VideoSegment
 from repro.sim.engine import Environment
+from repro.sim.rng import counter_u01, counter_u01_one
 from repro.streaming.playback import PlaybackBuffer
 from repro.streaming.video import SEGMENT_DURATION_S
 from repro.workload.games import Game
@@ -137,3 +152,400 @@ class PlayerEndpoint:
         packets inside the latency requirement."""
         return self.playback.stats.is_satisfied(
             loss_tolerance=self.game.loss_tolerance)
+
+
+# ---------------------------------------------------------------------------
+# Cohort execution (population scale)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CohortParams:
+    """Constants of the cohort tick dynamics (DESIGN.md §11).
+
+    Every per-tick computation built on these sticks to IEEE-exact
+    elementwise operations (``+ - * / min max`` and comparisons): no
+    transcendentals, no reductions inside the advance kernel, so a
+    vectorised batch advance and a one-player advance produce
+    bit-identical state.
+    """
+
+    #: Simulation tick — one representative frame group per tick.
+    tick_s: float = 0.5
+    #: Delivered video per on-time tick, as a multiple of ``tick_s``
+    #: (>1 so buffers can recover after a loss).
+    fill_rate: float = 1.25
+    #: Initial playback buffer level.
+    init_buffer_s: float = 2.0
+    #: Playback buffer cap.
+    max_buffer_s: float = 8.0
+    #: Buffer level above which an on-time player upgrades its tier.
+    up_buffer_s: float = 6.0
+    #: Quality tiers ``0 .. n_tiers-1``; everyone starts at the top.
+    n_tiers: int = 5
+    #: Minimum ticks between two tier switches of one player.
+    switch_cooldown_ticks: int = 16
+    #: Frame deadline at the top tier.
+    frame_deadline_s: float = 0.1
+    #: Deadline slack added per tier below the top (lower bitrate is
+    #: easier to deliver — the §III-B adaptation escape valve). At the
+    #: bottom tier the deadline exceeds the worst access latency the
+    #: scale sampler produces, so every player can stabilise.
+    tier_deadline_step_s: float = 0.05
+    #: Extra headroom an upgrade must clear below the next tier's
+    #: deadline. At the full jitter amplitude (2 × jitter scale) a
+    #: player whose base latency rides a deadline boundary can never
+    #: up-switch into a tier it will occasionally miss, so nobody
+    #: oscillates between tiers on jitter noise — the property that
+    #: keeps the materialised set small and re-absorbable.
+    up_margin_s: float = 0.004
+    #: Per-player crash probability per tick.
+    crash_rate_per_tick: float = 2e-5
+    #: Scale of the per-(player, tick) uniform jitter; the draw is
+    #: ``2·scale·u`` so its mean matches an exponential of this scale.
+    jitter_scale_s: float = 0.002
+    #: Added latency per unit of overload at the serving region.
+    congestion_gain_s: float = 0.02
+    #: Serving capacity per region, relative to its home population.
+    capacity_factor: float = 1.25
+    #: Latency histogram bin width and bin count (the last bin absorbs
+    #: the tail). 512 × 1 ms covers every sane frame latency.
+    latency_bin_s: float = 0.001
+    n_latency_bins: int = 512
+    #: A materialised player that goes this many ticks without a new
+    #: divergence folds back into the cohort (cohort mode only). Two
+    #: cooldown periods: long enough to see any residual instability,
+    #: short enough that a one-off divergence stays cheap.
+    reabsorb_ticks: int = 32
+    #: Loss tolerance for the §IV satisfaction criterion.
+    loss_tolerance: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0 or self.fill_rate <= 0:
+            raise ValueError("tick_s and fill_rate must be positive")
+        if self.n_tiers < 1 or self.n_latency_bins < 2:
+            raise ValueError("need at least 1 tier and 2 latency bins")
+        if not 0.0 <= self.crash_rate_per_tick <= 1.0:
+            raise ValueError("crash_rate_per_tick must be a probability")
+
+
+class PlayerCohort:
+    """All players' state as a structure of arrays, advanced in ticks.
+
+    The arrays are the single source of truth for *every* player,
+    materialised or not. :meth:`advance` is the one state-transition
+    kernel; the cohort driver calls it with the batch of non-materialised
+    indices, a :class:`MaterialisedPlayer` calls it with its own length-1
+    index array. Because both paths run the same IEEE-exact elementwise
+    code over the same arrays, who drives a player never changes its
+    trajectory — the equivalence the digest tests pin down.
+
+    Cross-player aggregates (`tick_load`, the latency histogram) are
+    int64 accumulators fed by ``bincount``, so contributions commute
+    exactly regardless of event order within a tick.
+    """
+
+    def __init__(
+        self,
+        region_of_player: np.ndarray,
+        access_s: np.ndarray,
+        latency: RegionalLatency,
+        params: CohortParams,
+        seed: int,
+    ):
+        region = np.asarray(region_of_player)
+        n = region.shape[0]
+        if np.asarray(access_s).shape[0] != n:
+            raise ValueError("access_s must align with region_of_player")
+        self.params = params
+        self.latency = latency
+        n_regions = latency.n_regions
+        self.n_regions = n_regions
+        self.n_players = n
+        self._salt_jitter = 2 * seed + 1
+        self._salt_crash = 2 * seed + 2
+        # Derived constants, precomputed once so advance stays lean.
+        self._fill_s = params.fill_rate * params.tick_s
+        self._inv_bin = 1.0 / params.latency_bin_s
+        self._top_tier = params.n_tiers - 1
+
+        # -- per-player state (player id is the array index) ----------------
+        self.player_id = np.arange(n, dtype=np.int64)
+        self.region = region.astype(np.int64)
+        self.access_s = np.asarray(access_s, dtype=np.float64).copy()
+        self.served_by = self.region.copy()
+        self.buffer_s = np.full(n, params.init_buffer_s, dtype=np.float64)
+        self.position_s = np.zeros(n, dtype=np.float64)
+        self.tier = np.full(n, self._top_tier, dtype=np.int64)
+        self.last_switch = np.full(
+            n, -params.switch_cooldown_ticks, dtype=np.int64)
+        self.materialised = np.zeros(n, dtype=bool)
+        self.rebuffer_ticks = np.zeros(n, dtype=np.int64)
+        self.crashes = np.zeros(n, dtype=np.int64)
+        self.switches = np.zeros(n, dtype=np.int64)
+        self.reconnects = np.zeros(n, dtype=np.int64)
+        self.migrations = np.zeros(n, dtype=np.int64)
+        self.on_time_frames = np.zeros(n, dtype=np.int64)
+        self.frames = np.zeros(n, dtype=np.int64)
+
+        # -- tick-level shared inputs (written by the driver, before any
+        # advance at that tick, identically in both modes) -------------------
+        self.region_offline = np.zeros(n_regions, dtype=bool)
+        self.failover_to = np.arange(n_regions, dtype=np.int64)
+        self.congestion_s = np.zeros(n_regions, dtype=np.float64)
+
+        # -- integer aggregates (order-free accumulators) --------------------
+        self.tick_load = np.zeros(n_regions, dtype=np.int64)
+        self.lat_hist = np.zeros(
+            n_regions * params.n_latency_bins, dtype=np.int64)
+
+    # -- the one state-transition kernel ------------------------------------
+    def advance(self, idx: np.ndarray, tick: int) -> np.ndarray:
+        """Advance the players in ``idx`` through tick ``tick``.
+
+        Returns the divergence mask (crashed or down-switched) aligned
+        with ``idx``. Restricted to IEEE-exact elementwise operations —
+        see :class:`CohortParams`.
+
+        Length-1 calls (a materialised player's tick) dispatch to the
+        scalar mirror :meth:`_advance_one`: the same operations in the
+        same order on Python doubles, which the IEEE-exactness
+        restriction makes bit-identical to the vector path — the
+        equivalence the cohort-vs-per-player digest tests pin down.
+        """
+        if idx.size == 1:
+            return np.array([self._advance_one(int(idx[0]), tick)])
+        p = self.params
+        region = self.region[idx]
+        served = self.served_by[idx]
+        pid = self.player_id[idx]
+
+        # 1) This tick's frame latency: access + propagation + congestion
+        #    + uniform jitter from the counter generator.
+        u_jit = counter_u01(pid, tick, self._salt_jitter)
+        lat = (self.access_s[idx]
+               + self.latency.gather_s(served, region)
+               + self.congestion_s[served]
+               + (2.0 * p.jitter_scale_s) * u_jit)
+
+        # 2) Crash draw (independent counter stream).
+        crashed = counter_u01(pid, tick, self._salt_crash) \
+            < p.crash_rate_per_tick
+
+        # 3) Delivery against the tier-dependent deadline.
+        tier = self.tier[idx]
+        deadline = (p.frame_deadline_s
+                    + p.tier_deadline_step_s
+                    * (self._top_tier - tier).astype(np.float64))
+        on_time = lat <= deadline
+        ok = on_time & ~crashed
+
+        # 4) Playback buffer: fill on delivery, drain by playing.
+        buf = self.buffer_s[idx] + np.where(ok, self._fill_s, 0.0)
+        playing = buf >= p.tick_s
+        consumed = np.where(playing, p.tick_s, 0.0)
+        self.position_s[idx] += consumed
+        buf = np.minimum(buf - consumed, p.max_buffer_s)
+
+        # 5) Adaptation: down on a missed deadline, up on a full buffer —
+        #    both rate-limited by the cooldown. An upgrade additionally
+        #    requires this tick's latency to fit the *next* tier's
+        #    tighter deadline, otherwise a player whose latency sits
+        #    between two tier deadlines would oscillate up and down
+        #    forever (and in cohort mode never re-converge).
+        can = tick - self.last_switch[idx] >= p.switch_cooldown_ticks
+        down = can & ~on_time & (tier > 0)
+        up = (can
+              & (lat <= deadline - p.tier_deadline_step_s - p.up_margin_s)
+              & (buf > p.up_buffer_s) & (tier < self._top_tier))
+        new_tier = tier + up.astype(np.int64) - down.astype(np.int64)
+        switched = new_tier != tier
+
+        # 6) Crash effects: buffer wiped, restart at the bottom tier,
+        #    reconnect home (or to the failover target if home is down).
+        reconnect_to = np.where(
+            self.region_offline[region], self.failover_to[region], region)
+        buf = np.where(crashed, 0.0, buf)
+        new_tier = np.where(crashed, 0, new_tier)
+
+        # 7) Write back.
+        self.buffer_s[idx] = buf
+        self.tier[idx] = new_tier
+        self.last_switch[idx] = np.where(
+            switched | crashed, tick, self.last_switch[idx])
+        self.served_by[idx] = np.where(crashed, reconnect_to, served)
+        self.rebuffer_ticks[idx] += ~playing
+        self.crashes[idx] += crashed
+        self.switches[idx] += switched
+        self.reconnects[idx] += crashed & (reconnect_to != served)
+        self.on_time_frames[idx] += on_time
+        self.frames[idx] += 1
+
+        # Divergence = crash or down-switch: the events that push a
+        # player *away* from the cohort's homogeneous state. An
+        # up-switch is re-convergence toward it, handled identically
+        # by the batch, so it neither materialises a player nor resets
+        # the re-absorption clock.
+        diverged = crashed | down
+
+        # 8) Order-free integer aggregates. Integer addition commutes
+        #    exactly, so the scatter-add (cheap for the handful of
+        #    indices a materialised advance carries) and the bincount
+        #    (cheap for the cohort batch) produce identical counters —
+        #    a performance branch, never a math branch.
+        bins = np.minimum((lat * self._inv_bin).astype(np.int64),
+                          p.n_latency_bins - 1)
+        flat = region * p.n_latency_bins + bins
+        if idx.size <= 64:
+            np.add.at(self.tick_load, served, 1)
+            np.add.at(self.lat_hist, flat, 1)
+        else:
+            self.tick_load += np.bincount(served, minlength=self.n_regions)
+            self.lat_hist += np.bincount(
+                flat, minlength=self.lat_hist.shape[0])
+
+        return diverged
+
+    def _advance_one(self, i: int, tick: int) -> bool:
+        """Scalar mirror of :meth:`advance` for one player.
+
+        Every arithmetic step repeats the vector path's operation in the
+        vector path's order on Python doubles (IEEE binary64, like
+        numpy's float64), so the state written here is bit-identical to
+        what the batch would have written for index ``i``. Any edit to
+        :meth:`advance` must be mirrored here — the cohort-equivalence
+        digest suite fails loudly if the two drift.
+        """
+        p = self.params
+        region = int(self.region[i])
+        served = int(self.served_by[i])
+
+        # 1) Frame latency.
+        u_jit = counter_u01_one(i, tick, self._salt_jitter)
+        lat = (float(self.access_s[i])
+               + float(self.latency.propagation_row_s(served)[region])
+               + float(self.congestion_s[served])
+               + (2.0 * p.jitter_scale_s) * u_jit)
+
+        # 2) Crash draw.
+        crashed = counter_u01_one(i, tick, self._salt_crash) \
+            < p.crash_rate_per_tick
+
+        # 3) Delivery.
+        tier = int(self.tier[i])
+        deadline = (p.frame_deadline_s
+                    + p.tier_deadline_step_s * float(self._top_tier - tier))
+        on_time = lat <= deadline
+        ok = on_time and not crashed
+
+        # 4) Buffer.
+        buf = float(self.buffer_s[i]) + (self._fill_s if ok else 0.0)
+        playing = buf >= p.tick_s
+        consumed = p.tick_s if playing else 0.0
+        self.position_s[i] = float(self.position_s[i]) + consumed
+        buf = min(buf - consumed, p.max_buffer_s)
+
+        # 5) Adaptation.
+        can = tick - int(self.last_switch[i]) >= p.switch_cooldown_ticks
+        down = can and not on_time and tier > 0
+        up = (can
+              and lat <= deadline - p.tier_deadline_step_s - p.up_margin_s
+              and buf > p.up_buffer_s and tier < self._top_tier)
+        new_tier = tier + (1 if up else 0) - (1 if down else 0)
+        switched = new_tier != tier
+
+        # 6) Crash effects.
+        if crashed:
+            reconnect_to = (int(self.failover_to[region])
+                            if self.region_offline[region] else region)
+            buf = 0.0
+            new_tier = 0
+
+        # 7) Write back.
+        self.buffer_s[i] = buf
+        self.tier[i] = new_tier
+        if switched or crashed:
+            self.last_switch[i] = tick
+        if not playing:
+            self.rebuffer_ticks[i] += 1
+        if crashed:
+            self.served_by[i] = reconnect_to
+            self.crashes[i] += 1
+            if reconnect_to != served:
+                self.reconnects[i] += 1
+        if switched:
+            self.switches[i] += 1
+        if on_time:
+            self.on_time_frames[i] += 1
+        self.frames[i] += 1
+
+        # 8) Aggregates.
+        self.tick_load[served] += 1
+        b = int(lat * self._inv_bin)
+        if b > p.n_latency_bins - 1:
+            b = p.n_latency_bins - 1
+        self.lat_hist[region * p.n_latency_bins + b] += 1
+
+        # Same divergence rule as the vector path: crash or down-switch.
+        return crashed or down
+
+    # -- materialisation -----------------------------------------------------
+    def materialise(self, player_id: int) -> "MaterialisedPlayer":
+        """Promote one player to individually-driven execution."""
+        if self.materialised[player_id]:
+            raise ValueError(f"player {player_id} is already materialised")
+        self.materialised[player_id] = True
+        return MaterialisedPlayer(self, player_id)
+
+    def reabsorb(self, player_id: int) -> None:
+        """Fold a re-converged materialised player back into the batch."""
+        self.materialised[player_id] = False
+
+    @property
+    def n_materialised(self) -> int:
+        return int(np.count_nonzero(self.materialised))
+
+    def batch_indices(self) -> np.ndarray:
+        """Indices the cohort driver advances (the non-materialised)."""
+        return np.flatnonzero(~self.materialised)
+
+
+class MaterialisedPlayer:
+    """An individually-driven view of one cohort player.
+
+    Holds no state of its own beyond the index: every read and write
+    goes through the cohort arrays, and :meth:`advance` runs the shared
+    kernel on a length-1 index array. ``last_divergence_tick`` is
+    bookkeeping for re-absorption and deliberately not part of any
+    digest.
+    """
+
+    __slots__ = ("cohort", "player_id", "idx", "last_divergence_tick")
+
+    def __init__(self, cohort: PlayerCohort, player_id: int):
+        self.cohort = cohort
+        self.player_id = int(player_id)
+        self.idx = np.array([self.player_id], dtype=np.int64)
+        self.last_divergence_tick = -1
+
+    def advance(self, tick: int) -> bool:
+        """Advance this player one tick; True if it diverged again."""
+        diverged = self.cohort._advance_one(self.player_id, tick)
+        if diverged:
+            self.last_divergence_tick = tick
+        return diverged
+
+    @property
+    def buffer_s(self) -> float:
+        return float(self.cohort.buffer_s[self.player_id])
+
+    @property
+    def tier(self) -> int:
+        return int(self.cohort.tier[self.player_id])
+
+    @property
+    def served_by(self) -> int:
+        return int(self.cohort.served_by[self.player_id])
+
+    def __repr__(self) -> str:
+        return (f"<MaterialisedPlayer id={self.player_id} "
+                f"tier={self.tier} buffer={self.buffer_s:.2f}s>")

@@ -209,6 +209,26 @@ def _run_chaos_point(scale: float, seed: int, p: dict) -> dict:
             "mean_recovery_time_s": fs.get("mean_recovery_time_s")}
 
 
+def _run_scale_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.core.cohort import ScaleSpec, run_scale
+
+    spec = ScaleSpec(
+        n_players=int(p["n_players"]), n_regions=int(p["n_regions"]),
+        n_ticks=int(p["n_ticks"]), seed=int(p["task_seed"]),
+        mode=p["mode"], queue=p.get("queue", "calendar"),
+        faults=p.get("faults", "outage"))
+    report = run_scale(spec)
+    return {
+        "digest": report.digest,
+        "p50_ms": report.p50_ms,
+        "p95_ms": report.p95_ms,
+        "p99_ms": report.p99_ms,
+        "satisfied": report.satisfied_fraction,
+        "materialisations": report.materialisations,
+        "events": report.events_scheduled,
+    }
+
+
 #: Picklable dispatch table: runner name -> fn(scale, seed, params).
 TASK_RUNNERS = {
     "coverage_dc": _run_coverage_dc,
@@ -226,6 +246,7 @@ TASK_RUNNERS = {
     "gameworld_partition": _run_gameworld_partition,
     "dynamic": _run_dynamic,
     "chaos_point": _run_chaos_point,
+    "scale_point": _run_scale_point,
     # Fault-injection hook (crashes/hangs/raises on the Nth attempt):
     # referenced by the resilience test-suite and the CI smoke, kept in
     # the registry so such tasks resolve inside worker processes.
@@ -502,6 +523,65 @@ def _merge_chaos(scale, seed, ordered):
     return series
 
 
+#: Population points of the ``scale`` experiment at scale factor 1.0.
+_SCALE_POINTS = (20_000, 50_000, 100_000)
+_SCALE_REGIONS = 8
+_SCALE_TICKS = 120
+
+
+def _scale_players(scale: float) -> list[int]:
+    # The 1000-player floor can collapse points at tiny scales; dedupe
+    # so task keys stay unique.
+    return sorted({max(1000, int(round(n * scale)))
+                   for n in _SCALE_POINTS})
+
+
+def _decompose_scale(scale, seed):
+    """Cohort-mode latency sweep + a per-player digest cross-check.
+
+    The smallest population runs in *both* execution modes; the merge
+    refuses to produce series if their trace digests differ, so every
+    ``cloudfog`` run of this experiment re-proves the cohort kernel's
+    equivalence before reporting its numbers.
+    """
+    base = {"n_regions": _SCALE_REGIONS, "n_ticks": _SCALE_TICKS,
+            "task_seed": seed}
+    players = _scale_players(scale)
+    tasks = [
+        SweepTask("scale", (n, "cohort"), "scale_point",
+                  {**base, "n_players": n, "mode": "cohort"})
+        for n in players
+    ]
+    tasks.append(SweepTask(
+        "scale", (players[0], "per-player"), "scale_point",
+        {**base, "n_players": players[0], "mode": "per-player"}))
+    return tasks
+
+
+def _merge_scale(scale, seed, ordered):
+    res = dict(ordered)
+    players = _scale_players(scale)
+    check = res[(players[0], "cohort")]
+    cross = res[(players[0], "per-player")]
+    if check["digest"] != cross["digest"]:
+        raise AssertionError(
+            f"cohort/per-player digest mismatch at n={players[0]}: "
+            f"{check['digest']} != {cross['digest']}")
+    series = []
+    for q in ("p50_ms", "p95_ms", "p99_ms"):
+        s = FigureSeries(label=q[:3].upper(), x_label="players",
+                         y_label="response latency (ms)")
+        for n in players:
+            s.add(n, res[(n, "cohort")][q])
+        series.append(s)
+    sat_series = FigureSeries(label="satisfied", x_label="players",
+                              y_label="fraction of players")
+    for n in players:
+        sat_series.add(n, res[(n, "cohort")]["satisfied"])
+    series.append(sat_series)
+    return series
+
+
 def _spec(name: str, description: str, tags: tuple[str, ...],
           decompose, merge=_merge_fragments) -> ExperimentSpec:
     return ExperimentSpec(name=name, description=description, tags=tags,
@@ -583,6 +663,10 @@ _register(_spec(
 _register(_spec(
     "chaos", "QoE under deterministic fault injection", ("extension", "chaos"),
     _decompose_chaos, _merge_chaos))
+_register(_spec(
+    "scale", "latency percentiles vs population (cohort kernel)",
+    ("extension", "scale"),
+    _decompose_scale, _merge_scale))
 
 
 def get_spec(name: str) -> ExperimentSpec:

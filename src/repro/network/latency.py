@@ -251,3 +251,109 @@ class LatencyModel:
         if rtt <= 0:
             return float("inf")
         return 8.0 * self.params.tcp_window_bytes / rtt
+
+
+class RegionalLatency:
+    """Lazy region-granular propagation latency (DESIGN.md §11).
+
+    The all-pairs host model above precomputes or derives O(n²)
+    quantities — unusable for a million players. At scale the latency of
+    a served player decomposes into a per-player access term plus a
+    region-to-region propagation term, so this model keeps only region
+    centroids and computes each region's propagation *row* on first use,
+    caching it. Memory is O(regions²) in the worst case (every row
+    touched) and O(regions × rows_touched) typically — never O(players²).
+
+    All row math uses ``sqrt(dx² + dy²)`` and exact ``+ * /`` only (no
+    ``hypot``, no libm), so cached rows — and the digests of every run
+    built on them — are bit-identical across platforms.
+    """
+
+    def __init__(self, centers_km: np.ndarray,
+                 params: LatencyParams | None = None):
+        self.params = params or LatencyParams()
+        self.centers_km = np.asarray(centers_km, dtype=np.float64)
+        if self.centers_km.ndim != 2 or self.centers_km.shape[1] != 2:
+            raise ValueError("centers_km must be (n_regions, 2)")
+        self._rows: dict[int, np.ndarray] = {}
+
+    @property
+    def n_regions(self) -> int:
+        return self.centers_km.shape[0]
+
+    @property
+    def cached_rows(self) -> int:
+        """Propagation rows computed so far (memory-bound observability)."""
+        return len(self._rows)
+
+    def propagation_row_s(self, region: int) -> np.ndarray:
+        """Propagation delay from ``region`` to every region (cached)."""
+        row = self._rows.get(region)
+        if row is None:
+            if not 0 <= region < self.n_regions:
+                raise IndexError(f"region {region} out of range")
+            d = self.centers_km - self.centers_km[region]
+            dist_km = np.sqrt(d[:, 0] * d[:, 0] + d[:, 1] * d[:, 1])
+            row = self.params.route_inflation * dist_km / FIBRE_KM_PER_S
+            row.flags.writeable = False
+            self._rows[region] = row
+        return row
+
+    def propagation_s(self, i: int, j: int) -> float:
+        """Propagation delay between two regions."""
+        return float(self.propagation_row_s(int(i))[int(j)])
+
+    def gather_s(self, src_regions: np.ndarray,
+                 dst_regions: np.ndarray) -> np.ndarray:
+        """Elementwise propagation ``src[i] → dst[i]`` for aligned arrays.
+
+        Touches only the rows of regions present in ``src_regions``;
+        cost is O(len + regions), independent of the population size.
+        """
+        src = np.asarray(src_regions)
+        dst = np.asarray(dst_regions)
+        if src.size == 1:
+            # Single-player path (materialised advance): same cached
+            # row, same float, no bincount.
+            return np.array(
+                [self.propagation_row_s(int(src[0]))[dst[0]]])
+        out = np.empty(src.shape, dtype=np.float64)
+        present = np.flatnonzero(
+            np.bincount(src, minlength=self.n_regions))
+        for r in present:
+            mask = src == r
+            out[mask] = self.propagation_row_s(int(r))[dst[mask]]
+        return out
+
+    def full_matrix_s(self) -> np.ndarray:
+        """All-pairs region propagation (O(regions²); reporting only)."""
+        return np.vstack([self.propagation_row_s(r)
+                          for r in range(self.n_regions)])
+
+
+def sample_access_latency_s(
+    rng: np.random.Generator,
+    n: int,
+    params: LatencyParams | None = None,
+) -> np.ndarray:
+    """Per-player last-mile latency for scale populations.
+
+    Same bimodal intent as :class:`LatencyModel`'s lognormal draw — a
+    well-connected majority plus a poorly connected tail — but built
+    from uniforms with a rational transform only (``+ - * /``): no libm
+    transcendentals, so the drawn values, and every golden digest
+    downstream, are bit-identical across platforms and BLAS builds.
+    """
+    p = params or LatencyParams()
+    u = rng.random(n)
+    v = rng.random(n)
+    # Right-skewed shape: ~0.45 at u=0, ≈1.0 at the median, bounded
+    # ×4.45 tail — a lognormal-ish profile out of exact field
+    # operations. The bound keeps the worst last mile inside the most
+    # tolerant tier's deadline, so adaptation can always stabilise a
+    # player instead of leaving an undeliverable tail diverged forever.
+    u2 = u * u
+    shape = 0.45 + u + 3.0 * (u2 * u2 * u2)
+    good = (p.access_median_s * 0.85) * shape
+    poor = (p.poor_median_s * 0.85) * shape
+    return np.where(v < p.poor_fraction, poor, good)

@@ -218,6 +218,74 @@ def build_topology(
     return topo
 
 
+@dataclass(frozen=True)
+class Regions:
+    """A region-granular population for scale runs (DESIGN.md §11).
+
+    The full :class:`Topology` materialises one :class:`Host` object per
+    player and an ``(n, 2)`` coordinate row appended per host — fine for
+    the paper's 10 000 players, hopeless for a million. At scale the
+    simulation only ever needs (a) which *region* a player lives in and
+    (b) region-to-region propagation, so this builder keeps exactly
+    that: O(regions) centroids plus one int32 region id per player.
+
+    Attributes
+    ----------
+    centers_km:
+        ``(n_regions, 2)`` region centroid coordinates.
+    weights:
+        Normalised population weight of each region (Zipf-like).
+    region_of_player:
+        ``(n_players,)`` int32 region id of every player.
+    """
+
+    centers_km: np.ndarray
+    weights: np.ndarray
+    region_of_player: np.ndarray
+
+    @property
+    def n_regions(self) -> int:
+        return self.centers_km.shape[0]
+
+    @property
+    def n_players(self) -> int:
+        return self.region_of_player.shape[0]
+
+    def player_counts(self) -> np.ndarray:
+        """Players per region (int64, aligned with region ids)."""
+        return np.bincount(self.region_of_player,
+                           minlength=self.n_regions).astype(np.int64)
+
+
+def build_regions(
+    rng: np.random.Generator,
+    n_players: int,
+    n_regions: int = 8,
+) -> Regions:
+    """Build a region-granular scale population, fully vectorised.
+
+    Region centroids are uniform on the plane; population weights follow
+    the harmonic (Zipf ``s=1``) profile ``1/rank``, computed by exact
+    division rather than ``**`` so the weights — and every digest
+    downstream of the region assignment — carry no libm ``pow`` ULP
+    variance across platforms. Memory and time are O(regions + players);
+    no :class:`Host` objects, no per-host coordinate rows.
+    """
+    if n_regions <= 0:
+        raise ValueError("need at least one region")
+    if n_players < 0:
+        raise ValueError("n_players must be nonnegative")
+    weights = 1.0 / np.arange(1, n_regions + 1, dtype=np.float64)
+    weights /= weights.sum()
+    xs = rng.uniform(0.0, PLANE_WIDTH_KM, size=n_regions)
+    ys = rng.uniform(0.0, PLANE_HEIGHT_KM, size=n_regions)
+    centers = np.column_stack([xs, ys])
+    region_of_player = rng.choice(
+        n_regions, size=n_players, p=weights).astype(np.int32)
+    return Regions(centers_km=centers, weights=weights,
+                   region_of_player=region_of_player)
+
+
 def place_edge_servers(
     topo: Topology,
     rng: np.random.Generator,

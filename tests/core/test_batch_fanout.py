@@ -1,0 +1,183 @@
+"""Unit tests for the per-tick batched cloud→supernode fan-out.
+
+A tick's state update covers every served player at once, so the hot
+path offers aggregate forms of the per-player APIs: one buffer operation
+per burst (``enqueue_batch``), one render completion per tick
+(``render_and_send_batch``), one ledger charge per region
+(``account_update_regions``). These tests pin the batch forms to their
+sequential equivalents.
+"""
+
+import pytest
+
+from repro.core.cloud import UPDATE_MESSAGE_BYTES, CloudCoordinator
+from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
+from repro.core.server import StreamingServer
+from repro.network.packet import PACKET_PAYLOAD_BYTES, VideoSegment
+from repro.streaming.encoder import SegmentEncoder
+from repro.streaming.sender_buffer import FifoSenderBuffer
+
+RATE = 8.0 * PACKET_PAYLOAD_BYTES * 100  # 100 packets per second
+
+
+def seg(player=0, n_packets=10, action=0.0, req=0.1, tolerance=0.3):
+    return VideoSegment(
+        player_id=player,
+        quality_level=3,
+        size_bytes=PACKET_PAYLOAD_BYTES * n_packets,
+        duration_s=0.1,
+        action_time_s=action,
+        latency_req_s=req,
+        loss_tolerance=tolerance,
+    )
+
+
+class TestFifoBatch:
+    def test_matches_sequential(self):
+        one, many = FifoSenderBuffer(), FifoSenderBuffer()
+        segs_a = [seg(player=i) for i in range(5)]
+        segs_b = [seg(player=i) for i in range(5)]
+        for s in segs_a:
+            one.enqueue(s, now_s=1.0)
+        assert many.enqueue_batch(segs_b, now_s=1.0) == 5
+        assert many.enqueued == one.enqueued == 5
+        assert [s.player_id for s in many.iter_pending()] == \
+               [s.player_id for s in one.iter_pending()]
+        assert many.backlog_bytes == one.backlog_bytes
+        assert many._p_in == one._p_in
+        assert many._p_pend == one._p_pend
+
+    def test_empty_batch_is_noop(self):
+        buf = FifoSenderBuffer()
+        assert buf.enqueue_batch([], now_s=1.0) == 0
+        assert buf.enqueued == 0
+
+    def test_stamps_enqueue_time(self):
+        buf = FifoSenderBuffer()
+        s = seg()
+        buf.enqueue_batch([s], now_s=2.5)
+        assert s.enqueued_at_s == 2.5
+
+
+class TestDeadlineBatch:
+    def test_matches_sequential_when_uncongested(self):
+        one = DeadlineSenderBuffer(RATE)
+        many = DeadlineSenderBuffer(RATE)
+        # Arrival order deliberately scrambles deadline order.
+        reqs = [0.5, 0.2, 0.9, 0.3, 0.7]
+        for i, r in enumerate(reqs):
+            one.enqueue(seg(player=i, n_packets=1, req=r), now_s=0.0)
+        many.enqueue_batch(
+            [seg(player=i, n_packets=1, req=r) for i, r in enumerate(reqs)],
+            now_s=0.0)
+        order_one = [s.player_id for s in one.iter_pending()]
+        order_many = [s.player_id for s in many.iter_pending()]
+        assert order_many == order_one == [1, 3, 0, 4, 2]
+        assert many.packets_dropped == one.packets_dropped == 0
+        assert many._p_pend == one._p_pend
+
+    def test_rebalance_runs_on_batch(self):
+        # A burst far beyond the uplink's deadline capacity must trigger
+        # Eq. 14 drops, exactly as sequential enqueues would.
+        buf = DeadlineSenderBuffer(RATE)
+        buf.enqueue_batch(
+            [seg(player=i, n_packets=40, req=0.1, tolerance=0.5)
+             for i in range(8)],
+            now_s=0.0)
+        assert buf.packets_dropped > 0
+        # Conservation: in == pending + dropped (nothing dequeued yet).
+        assert buf._p_in == buf._p_pend + buf.packets_dropped
+
+    def test_dropping_disabled_is_pure_insert(self):
+        buf = DeadlineSenderBuffer(
+            RATE, params=SchedulingParams(enable_dropping=False))
+        buf.enqueue_batch(
+            [seg(player=i, n_packets=40) for i in range(8)], now_s=0.0)
+        assert buf.packets_dropped == 0
+        assert len(buf) == 8
+
+
+class Sink:
+    def __init__(self):
+        self.deliveries = []
+
+    def deliver(self, segment, now_s):
+        self.deliveries.append((segment, now_s))
+
+
+def attach(server, player_id, prop=0.01):
+    sink = Sink()
+    enc = SegmentEncoder(player_id, 0.110, 0.2)
+    server.attach_player(player_id, enc, sink.deliver, prop)
+    return sink
+
+
+class TestRenderAndSendBatch:
+    def test_all_players_delivered(self, env):
+        server = StreamingServer(env, 0, 10e6, render_delay_s=0.005)
+        sinks = {i: attach(server, i) for i in range(4)}
+        server.render_and_send_batch([(i, 0.0) for i in range(4)])
+        env.run(until=1.0)
+        for sink in sinks.values():
+            assert len(sink.deliveries) == 1
+        assert server.segments_sent == 4
+
+    def test_single_render_event_for_batch(self, env):
+        # The batch pays one render delay, not one per player: every
+        # segment's creation timestamp is the same render completion.
+        server = StreamingServer(env, 0, 10e6, render_delay_s=0.005)
+        sinks = [attach(server, i) for i in range(3)]
+        server.render_and_send_batch([(i, 0.0) for i in range(3)])
+        env.run(until=1.0)
+        created = {sink.deliveries[0][0].created_at_s for sink in sinks}
+        assert len(created) == 1
+        assert created.pop() == pytest.approx(0.005)
+        assert server.buffer.enqueued == 3
+
+    def test_unknown_players_skipped(self, env):
+        server = StreamingServer(env, 0, 10e6)
+        sink = attach(server, 1)
+        server.render_and_send_batch([(1, 0.0), (42, 0.0)])
+        env.run(until=1.0)
+        assert len(sink.deliveries) == 1
+        assert server.buffer.enqueued == 1
+
+    def test_detach_between_schedule_and_render(self, env):
+        server = StreamingServer(env, 0, 10e6, render_delay_s=0.005)
+        sink1 = attach(server, 1)
+        sink2 = attach(server, 2)
+        server.render_and_send_batch([(1, 0.0), (2, 0.0)])
+        server.detach_player(2)
+        env.run(until=1.0)
+        assert len(sink1.deliveries) == 1
+        assert len(sink2.deliveries) == 0
+
+    def test_empty_batch_is_noop(self, env):
+        server = StreamingServer(env, 0, 10e6)
+        server.render_and_send_batch([])
+        env.run(until=1.0)
+        assert server.segments_sent == 0
+
+
+class TestAccountUpdateRegions:
+    def test_matches_per_message_accounting(self, env):
+        a = CloudCoordinator(env, [0])
+        b = CloudCoordinator(env, [0])
+        counts = [120, 0, 45, 7]
+        for n in counts:
+            for _ in range(n):
+                a.account_update()
+        b.account_update_regions(counts)
+        assert b.update_bytes_sent == a.update_bytes_sent
+        assert b.actions_processed == a.actions_processed == sum(counts)
+
+    def test_accepts_mapping(self, env):
+        c = CloudCoordinator(env, [0])
+        c.account_update_regions({"eu": 10, "us": 20})
+        assert c.actions_processed == 30
+        assert c.update_bytes_sent == 30 * UPDATE_MESSAGE_BYTES
+
+    def test_rejects_negative(self, env):
+        c = CloudCoordinator(env, [0])
+        with pytest.raises(ValueError):
+            c.account_update_regions([5, -1])
