@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import run_all
 
 SCALE = float(os.environ.get("CLOUDFOG_BENCH_SCALE", "0.05"))
@@ -37,7 +38,8 @@ def test_run_all_parallel_speedup():
     """run_all at 4 workers must be >= 2x faster than serial."""
     serial, t_serial = _timed(lambda: run_all(scale=SCALE, seed=SEED))
     parallel, t_parallel = _timed(
-        lambda: run_all(scale=SCALE, seed=SEED, jobs=4))
+        lambda: run_all(scale=SCALE, seed=SEED,
+                        config=RunConfig(jobs=4)))
     assert _series_dicts(parallel) == _series_dicts(serial)
     speedup = t_serial / t_parallel
     print(f"\nrun_all(scale={SCALE}): serial {t_serial:.2f}s, "
@@ -51,9 +53,11 @@ def test_warm_cache_run_under_ten_percent_of_cold(tmp_path):
     """A warm-cache run_all re-run must cost < 10% of the cold run."""
     cache = ResultCache(str(tmp_path / "cache"))
     cold, t_cold = _timed(
-        lambda: run_all(scale=SCALE, seed=SEED, cache=cache))
+        lambda: run_all(scale=SCALE, seed=SEED,
+                        config=RunConfig(cache=cache)))
     warm, t_warm = _timed(
-        lambda: run_all(scale=SCALE, seed=SEED, cache=cache))
+        lambda: run_all(scale=SCALE, seed=SEED,
+                        config=RunConfig(cache=cache)))
     assert _series_dicts(warm) == _series_dicts(cold)
     assert cache.hits > 0
     ratio = t_warm / t_cold

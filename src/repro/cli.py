@@ -31,6 +31,16 @@ Examples
                                       # are cancelled and retried;
                                       # persistent failures are
                                       # reported, completed points kept
+    cloudfog worker --listen 0.0.0.0:7800
+                                      # start a worker daemon; then on
+                                      # the scheduler host:
+    cloudfog all --backend remote --workers host1:7800,host2:7800
+                                      # distribute sweep tasks over the
+                                      # worker fabric — results are
+                                      # byte-identical to --backend
+                                      # inline
+    cloudfog fig5a --backend remote --launch 4
+                                      # or spawn 4 loopback workers
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ import json
 import sys
 import time
 
+from repro.experiments.config import BACKEND_NAMES, RunConfig
 from repro.experiments.runner import (
     EXPERIMENTS,
     run_experiment,
@@ -60,6 +71,85 @@ def _jobs_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(
             f"must be >= 0 (0 = all cores), got {jobs}")
     return jobs
+
+
+def add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Install the shared execution flags (backend, parallelism, cache,
+    resilience) on ``parser``.
+
+    Every sweep-running subcommand gets the identical option surface;
+    :meth:`repro.experiments.config.RunConfig.from_args` turns the
+    parsed namespace into a :class:`RunConfig`.
+    """
+    group = parser.add_argument_group(
+        "execution",
+        "where and how sweep tasks run; results are byte-identical "
+        "whichever backend/parallelism executes them")
+    group.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="execution backend: inline (serial), pool (local worker "
+             "processes), remote (worker-daemon fabric); auto picks "
+             "inline for --jobs 1 and pool otherwise (default auto)")
+    group.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="run sweep tasks on N worker processes (0 = all cores); "
+             "results are byte-identical to --jobs 1 (default 1)")
+    group.add_argument(
+        "--workers", default="", metavar="HOST:PORT,...",
+        help="comma-separated addresses of listening worker daemons "
+             "(cloudfog worker --listen ...) to dial; implies "
+             "--backend remote")
+    group.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="bind the remote scheduler here and accept dial-in "
+             "workers (cloudfog worker --connect ...); implies "
+             "--backend remote")
+    group.add_argument(
+        "--launch", type=int, default=0, metavar="N",
+        help="spawn N loopback worker daemons for the remote backend; "
+             "implies --backend remote")
+    group.add_argument(
+        "--launcher", default=None, metavar="CMD",
+        help="worker launch command template for --launch; {addr} (or "
+             "{host}/{port}) is substituted — SSH works: "
+             "'ssh gpu1 cloudfog worker --connect {addr}'")
+    group.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed result cache directory; re-runs skip "
+             "sweep points already computed for the same parameters")
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (force fresh execution)")
+    group.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry a crashed/raising/hung sweep task up to N times "
+             "with exponential backoff (default 2; 0 = fail fast)")
+    group.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-task wall-clock budget: the pool and remote backends "
+             "terminate hung workers and reschedule their tasks "
+             "(default: no timeout)")
+    group.add_argument(
+        "--keep-going", action="store_true",
+        help="on task failure, salvage completed sweep points and "
+             "report the failed ones instead of aborting the run")
+    group.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its journal (requires "
+             "--cache-dir): only tasks not yet checkpointed execute")
+
+
+def _config_from_args(parser: argparse.ArgumentParser,
+                      args: argparse.Namespace) -> RunConfig:
+    """Build the run's :class:`RunConfig`, mapping validation errors to
+    ``parser.error`` with CLI-flavoured messages."""
+    if args.resume and (not args.cache_dir or args.no_cache):
+        parser.error("--resume requires --cache-dir (the run journal "
+                     "lives next to the result cache)")
+    try:
+        return RunConfig.from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _print_ladder() -> None:
@@ -89,34 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=42, help="master RNG seed")
-    parser.add_argument(
-        "--jobs", type=_jobs_arg, default=1, metavar="N",
-        help="run sweep tasks on N worker processes (0 = all cores); "
-             "results are byte-identical to --jobs 1 (default 1)")
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="PATH",
-        help="content-addressed result cache directory; re-runs skip "
-             "sweep points already computed for the same parameters")
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="ignore --cache-dir (force fresh execution)")
-    parser.add_argument(
-        "--retries", type=int, default=2, metavar="N",
-        help="retry a crashed/raising/hung sweep task up to N times "
-             "with exponential backoff (default 2; 0 = fail fast)")
-    parser.add_argument(
-        "--task-timeout", type=float, default=None, metavar="S",
-        help="per-task wall-clock budget: with --jobs > 1, a watchdog "
-             "terminates hung workers and reschedules their tasks "
-             "(default: no timeout)")
-    parser.add_argument(
-        "--keep-going", action="store_true",
-        help="on task failure, salvage completed sweep points and "
-             "report the failed ones instead of aborting the run")
-    parser.add_argument(
-        "--resume", action="store_true",
-        help="resume an interrupted run from its journal (requires "
-             "--cache-dir): only tasks not yet checkpointed execute")
+    add_execution_args(parser)
     parser.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="emit series as JSON (stable to_dict schema) to PATH, or "
@@ -155,6 +218,7 @@ def build_trace_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--kernel", action="store_true",
         help="also trace raw kernel schedule/step events (verbose)")
+    add_execution_args(parser)
     return parser
 
 
@@ -169,13 +233,18 @@ def trace_main(argv: list[str] | None = None) -> int:
         keys = resolve_experiments(args.figure)  # fail fast on bad names
     except ValueError as exc:
         parser.error(str(exc))
+    cfg = _config_from_args(parser, args)
     obs = Observability(
         trace=TraceRecorder(),
         checkers=[] if args.no_check else default_checkers(),
         trace_kernel=args.kernel,
     )
     t0 = time.time()
-    run_experiment(args.figure, scale=args.scale, seed=args.seed, obs=obs)
+    try:
+        run_experiment(args.figure, scale=args.scale, seed=args.seed,
+                       obs=obs, config=cfg)
+    finally:
+        cfg.close()
     elapsed = time.time() - t0
 
     if args.out:
@@ -240,6 +309,7 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-check", action="store_true",
         help="skip the live invariant checkers")
+    add_execution_args(parser)
     return parser
 
 
@@ -252,6 +322,10 @@ def chaos_main(argv: list[str] | None = None) -> int:
 
     parser = build_chaos_parser()
     args = parser.parse_args(argv)
+    # Chaos runs one session rather than a sweep; the shared execution
+    # flags are accepted and validated so every subcommand speaks the
+    # same language, but only --cache-dir-independent checks matter.
+    _config_from_args(parser, args).close()
     plan = None
     if args.plan:
         with open(args.plan, encoding="utf-8") as fp:
@@ -344,6 +418,7 @@ def build_scale_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="emit the report as JSON to PATH ('-' = stdout)")
+    add_execution_args(parser)
     return parser
 
 
@@ -353,6 +428,9 @@ def scale_main(argv: list[str] | None = None) -> int:
 
     parser = build_scale_parser()
     args = parser.parse_args(argv)
+    # Single-kernel run (no sweep); accept + validate the shared
+    # execution flags so all subcommands take identical options.
+    _config_from_args(parser, args).close()
     try:
         spec = ScaleSpec(
             n_players=args.players, n_regions=args.regions,
@@ -378,6 +456,55 @@ def scale_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_worker_parser() -> argparse.ArgumentParser:
+    from repro.experiments.backends.worker import DEFAULT_HEARTBEAT_S
+
+    parser = argparse.ArgumentParser(
+        prog="cloudfog worker",
+        description="Run a sweep worker daemon for the remote execution "
+                    "backend. Workers execute pickled sweep tasks with "
+                    "the same function the inline backend uses, so a "
+                    "remote run's digests are byte-identical to a local "
+                    "one. The protocol trusts its peers (pickle): bind "
+                    "to loopback or a private network only.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial a scheduler (cloudfog ... --backend remote --listen "
+             "HOST:PORT) and serve it until it disconnects")
+    mode.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="bind here (port 0 = ephemeral; the bound address is "
+             "printed) and serve schedulers that dial in via --workers")
+    parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker id reported to schedulers (default host-pid)")
+    parser.add_argument(
+        "--once", action="store_true",
+        help="with --listen: exit after the first scheduler disconnects")
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=DEFAULT_HEARTBEAT_S,
+        metavar="S",
+        help="seconds between liveness heartbeats (default "
+             f"{DEFAULT_HEARTBEAT_S:g})")
+    return parser
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """``cloudfog worker``: serve sweep tasks for a remote scheduler."""
+    from repro.experiments.backends.worker import run_worker
+
+    parser = build_worker_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run_worker(connect=args.connect, listen=args.listen,
+                          worker_id=args.id, once=args.once,
+                          heartbeat_s=args.heartbeat_interval)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -387,26 +514,19 @@ def main(argv: list[str] | None = None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "scale":
         return scale_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "ladder":
         _print_ladder()
         return 0
 
-    from repro.experiments.resilience import ResilienceConfig, SweepFailure
+    from repro.experiments.backends.remote import RemoteFabricError
+    from repro.experiments.resilience import SweepFailure
 
-    cache = None
-    if args.cache_dir and not args.no_cache:
-        from repro.experiments.cache import ResultCache
-        cache = ResultCache(args.cache_dir)
-    if args.resume and cache is None:
-        parser.error("--resume requires --cache-dir (the run journal "
-                     "lives next to the result cache)")
-    resilience = ResilienceConfig(
-        max_retries=args.retries,
-        timeout_s=args.task_timeout,
-        keep_going=args.keep_going,
-    )
+    cfg = _config_from_args(parser, args)
+    cache = cfg.cache
 
     t0 = time.time()
     names = (list(EXPERIMENTS) if args.experiment == "all"
@@ -415,8 +535,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         for name in names:
             run_results_by_name.update(run_results(
-                name, scale=args.scale, seed=args.seed, jobs=args.jobs,
-                cache=cache, resilience=resilience, resume=args.resume))
+                name, scale=args.scale, seed=args.seed, config=cfg))
     except SweepFailure as exc:
         print("sweep failed:", file=sys.stderr)
         print(exc.report(), file=sys.stderr)
@@ -424,11 +543,19 @@ def main(argv: list[str] | None = None) -> int:
               "--cache-dir to pick them up, or add --keep-going to "
               "salvage partial results)", file=sys.stderr)
         return 1
+    except RemoteFabricError as exc:
+        print(f"remote fabric failed: {exc}", file=sys.stderr)
+        print("(completed tasks are cached and journalled; re-run with "
+              "--cache-dir and --resume once workers are back)",
+              file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("\ninterrupted — completed tasks were checkpointed; "
               "re-run with --cache-dir and --resume to finish the sweep",
               file=sys.stderr)
         return 130
+    finally:
+        cfg.close()
     results = {name: r.series for name, r in run_results_by_name.items()}
 
     if args.json is not None:

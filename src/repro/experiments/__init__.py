@@ -20,8 +20,58 @@ Figure 10    :func:`repro.experiments.satisfaction.satisfaction_sweep`
 Figure 11    :func:`repro.experiments.satisfaction.satisfaction_sweep`
 §III-A econ  :func:`repro.experiments.economics_exp.incentive_sweep`
 ===========  =====================================================
+
+The execution surface re-exports from here (resolved lazily so the
+simulation stack only imports when actually used)::
+
+    from repro.experiments import RunConfig, run_spec, run_named
+
+    run_named("fig5a", 0.1, 42, config=RunConfig(jobs=4))
+    run_named("fig5a", 0.1, 42,
+              config=RunConfig(backend="remote", launch=2))
 """
+
+import importlib
 
 from repro.experiments.scenarios import Scenario, peersim_scenario, planetlab_scenario
 
-__all__ = ["Scenario", "peersim_scenario", "planetlab_scenario"]
+#: Lazily re-exported execution API: name -> defining module.
+_EXPORTS = {
+    "RunConfig": "repro.experiments.config",
+    "coerce_config": "repro.experiments.config",
+    "resolve_jobs": "repro.experiments.config",
+    "run_spec": "repro.experiments.parallel",
+    "run_named": "repro.experiments.parallel",
+    "run_results": "repro.experiments.runner",
+    "run_experiment": "repro.experiments.runner",
+    "run_all": "repro.experiments.runner",
+    "resolve_experiments": "repro.experiments.runner",
+    "ExperimentSpec": "repro.experiments.api",
+    "SweepTask": "repro.experiments.api",
+    "RunResult": "repro.experiments.api",
+    "ResultCache": "repro.experiments.cache",
+    "ResilienceConfig": "repro.experiments.resilience",
+    "SweepFailure": "repro.experiments.resilience",
+    "TaskFailure": "repro.experiments.resilience",
+    "ExecutionBackend": "repro.experiments.backends",
+    "InlineBackend": "repro.experiments.backends",
+    "PoolBackend": "repro.experiments.backends",
+    "RemoteBackend": "repro.experiments.backends",
+}
+
+__all__ = ["Scenario", "peersim_scenario", "planetlab_scenario",
+           *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,35 @@
+"""Pluggable execution backends for the sweep engine.
+
+The scheduler (:func:`repro.experiments.parallel.run_spec`) is
+backend-agnostic; these classes decide where tasks actually run:
+
+* :class:`InlineBackend` — serial, in-process (tier-1 default);
+* :class:`PoolBackend` — resilient local process pool (``--jobs N``);
+* :class:`RemoteBackend` — socket scheduler over ``cloudfog worker``
+  daemons (``--backend remote``).
+
+All three honour the same determinism contract (task-order merge of
+pure task payloads) and the same ``exception`` / ``timeout`` /
+``worker-crash`` failure taxonomy, so a spec's digests are
+byte-identical whichever backend executed it. Select one through
+:class:`repro.experiments.config.RunConfig`.
+"""
+
+from repro.experiments.backends.base import (
+    ExecutionBackend,
+    SweepPlan,
+    execute_task,
+)
+from repro.experiments.backends.inline import InlineBackend
+from repro.experiments.backends.pool import PoolBackend
+from repro.experiments.backends.remote import RemoteBackend, RemoteFabricError
+
+__all__ = [
+    "ExecutionBackend",
+    "SweepPlan",
+    "execute_task",
+    "InlineBackend",
+    "PoolBackend",
+    "RemoteBackend",
+    "RemoteFabricError",
+]

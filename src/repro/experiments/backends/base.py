@@ -1,0 +1,119 @@
+"""Execution-backend contract for the sweep scheduler.
+
+:func:`repro.experiments.parallel.run_spec` owns everything that must
+be backend-agnostic — task decomposition, cache lookups, the crash-safe
+journal, deterministic task-order merging — and hands the residual work
+("run these task indices, call me back") to an
+:class:`ExecutionBackend` as a :class:`SweepPlan`:
+
+* :class:`~repro.experiments.backends.inline.InlineBackend` — serial,
+  in-process (what tier-1 tests use);
+* :class:`~repro.experiments.backends.pool.PoolBackend` — the
+  process-pool watchdog event loop
+  (:class:`~repro.experiments.resilience.PoolManager` + per-task
+  deadlines + pool rebuild);
+* :class:`~repro.experiments.backends.remote.RemoteBackend` — the
+  socket scheduler dispatching pickled tasks to ``cloudfog worker``
+  daemons.
+
+The determinism contract does not belong to any backend: payloads are
+pure functions of ``(task, scale, seed)`` and the scheduler merges in
+task order, so inline, pool and remote runs of the same spec produce
+byte-identical series/trace/metrics digests. A backend only decides
+*where* ``execute_task`` runs and how its failures map onto the
+``exception`` / ``timeout`` / ``worker-crash`` taxonomy via
+``plan.dispose``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import repro.obs as obs_mod
+from repro.experiments.api import SweepTask, now
+from repro.experiments.resilience import ResilienceConfig
+from repro.obs import Observability, TraceRecorder
+
+
+def execute_task(task: SweepTask, scale: float, seed: int,
+                 capture_trace: bool = False):
+    """Run one task under a private observability context.
+
+    Returns ``(data, metrics_snapshot, events, elapsed_s)`` where
+    ``events`` is a tuple of ``(t, component, kind, data)`` tuples (empty
+    unless ``capture_trace``). This is the function every backend ships
+    to its workers — process-pool pickle, remote task frame, or a plain
+    call inline: it takes only picklable values and resolves the runner
+    by name from :data:`repro.experiments.specs.TASK_RUNNERS`.
+    """
+    from repro.experiments.specs import TASK_RUNNERS
+    runner = TASK_RUNNERS.get(task.runner)
+    if runner is None:
+        raise KeyError(
+            f"unknown task runner {task.runner!r} "
+            f"(registered: {sorted(TASK_RUNNERS)})")
+    task_obs = Observability(
+        trace=TraceRecorder() if capture_trace else None)
+    t0 = now()
+    with obs_mod.use(task_obs):
+        data = runner(scale, seed, task.params)
+    elapsed = now() - t0
+    events = (tuple((e.t, e.component, e.kind, e.data)
+                    for e in task_obs.trace.events)
+              if capture_trace else ())
+    return data, task_obs.metrics.snapshot(), events, elapsed
+
+
+@dataclass
+class SweepPlan:
+    """One sweep's remaining work, as handed to a backend.
+
+    ``record(i, payload)`` accepts task ``i``'s successful payload (the
+    scheduler stores, caches and journals it — for the remote backend
+    this is the shared-artifact-store write-through). ``dispose(i,
+    attempt, kind, message)`` accounts one failed attempt and returns
+    the backoff delay before the next attempt, or ``None`` when the
+    task is terminally dead (it raises
+    :class:`~repro.experiments.resilience.SweepFailure` itself unless
+    keep-going). ``stats`` is the run's harness-telemetry dict;
+    backends may add their own counters (``pool_rebuilds``,
+    ``workers_lost``, ...).
+    """
+
+    #: Full task list (indices below refer into it).
+    tasks: list
+    #: Indices still to execute (cache hits already removed).
+    todo: list
+    scale: float
+    seed: int
+    #: Capture per-task trace events for the parent obs context.
+    capture: bool
+    #: Retry/timeout/keep-going policy for this run.
+    resilience: ResilienceConfig
+    record: Callable[[int, Any], None]
+    dispose: Callable[[int, int, str, str], Optional[float]]
+    stats: dict
+
+
+class ExecutionBackend(abc.ABC):
+    """Where sweep tasks run. Stateless backends (inline, pool) build
+    their machinery per :meth:`execute`; the remote backend keeps its
+    worker fabric alive across calls until :meth:`close`."""
+
+    #: Short name (matches the ``--backend`` CLI choice).
+    name = "?"
+
+    @abc.abstractmethod
+    def execute(self, plan: SweepPlan) -> None:
+        """Run every ``plan.todo`` task, reporting through
+        ``plan.record`` / ``plan.dispose``. Returns when all tasks are
+        recorded or terminally disposed; raises only for run-fatal
+        conditions (``SweepFailure``, lost fabric, interrupt)."""
+
+    def close(self) -> None:
+        """Release any long-lived resources (no-op by default)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name})>"

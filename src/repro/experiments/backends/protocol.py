@@ -1,0 +1,100 @@
+"""Wire protocol for the remote sweep fabric.
+
+One frame = one message, length-prefixed over a stream socket::
+
+    | 4-byte magic b"CFW1" | 4-byte big-endian payload length | pickle |
+
+where the pickle is ``(kind, payload)`` — ``kind`` a short string,
+``payload`` a dict. The conversation:
+
+========== =========== ====================================================
+kind       direction   payload
+========== =========== ====================================================
+hello      worker → s  ``worker`` id, ``pid``, ``version``, ``slots``
+task       s → worker  ``tid``, ``index``, ``task`` (SweepTask), ``scale``,
+                       ``seed``, ``capture``
+result     worker → s  ``tid``, ``index``, ``payload`` = the
+                       ``execute_task`` tuple — data, metrics snapshot,
+                       trace events, elapsed (the result blob the
+                       scheduler writes through the shared cache)
+error      worker → s  ``tid``, ``index``, ``kind`` (taxonomy), ``message``
+heartbeat  worker → s  (empty) — liveness while a long task runs
+bye        either      polite close (a worker serving ``--listen`` goes
+                       back to accepting; ``--once`` exits)
+========== =========== ====================================================
+
+Frames are pickled, so the fabric assumes *mutual trust*: anything that
+can connect to the scheduler's listen port (or that a worker dials) can
+execute code on the other side. Bind to loopback, a private network, or
+tunnel over SSH — never a public interface.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional
+
+MAGIC = b"CFW1"
+_HEADER = struct.Struct(">4sI")
+
+#: Refuse frames over this size — a corrupt header read as a length
+#: must not trigger a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad magic, oversized length, torn pickle)."""
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (host defaults to loopback)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {addr!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def format_addr(addr: tuple[str, int]) -> str:
+    return f"{addr[0]}:{addr[1]}"
+
+
+def send_frame(sock: socket.socket, kind: str,
+               payload: Optional[dict] = None) -> None:
+    """Serialize and send one ``(kind, payload)`` frame."""
+    blob = pickle.dumps((kind, payload or {}),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(MAGIC, len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> tuple[str, dict[str, Any]]:
+    """Receive one frame; raises :class:`EOFError` on a clean close at
+    a frame boundary, :class:`ProtocolError` on a malformed frame."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    blob = _recv_exact(sock, length)
+    try:
+        kind, payload = pickle.loads(blob)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    return kind, payload
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool = False) -> bytes:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if eof_ok and got == 0:
+                raise EOFError("connection closed")
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

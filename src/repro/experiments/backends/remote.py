@@ -1,0 +1,445 @@
+"""Socket scheduler dispatching sweep tasks to remote worker daemons.
+
+The fabric has three ways to acquire workers, combinable freely:
+
+* ``workers=("host:port", ...)`` — dial worker daemons already
+  listening (``cloudfog worker --listen HOST:PORT``);
+* ``listen="host:port"`` — bind and accept dial-in workers
+  (``cloudfog worker --connect HOST:PORT``), including ones that join
+  mid-run;
+* ``launch=N`` — spawn N workers through ``launcher`` (default: this
+  interpreter running ``repro.cli worker --connect <addr>`` against an
+  ephemeral loopback listener; SSH-compatible via a template like
+  ``"ssh gpu1 cloudfog worker --connect {addr}"``).
+
+Scheduling is a single-threaded ``select`` loop with per-worker
+in-flight accounting (a worker holds at most its advertised ``slots``
+tasks). Liveness is two-tier: a dead worker process closes its socket
+(immediate EOF detection), and a frozen-but-connected worker is
+declared dead when no frame — results *or* heartbeats — arrives within
+``heartbeat_timeout_s``. Either way its in-flight tasks requeue through
+the ``worker-crash`` arm of the
+:class:`~repro.experiments.resilience.TaskFailure` taxonomy, exactly
+like a SIGKILLed pool worker. Per-task deadlines (the resilience
+config's ``timeout_s``) map onto ``timeout``: the offending worker's
+connection is dropped (a remote task cannot be preempted) and its
+innocent in-flight tasks requeue without attempt penalty.
+
+The content-addressed result cache is the fabric's shared artifact
+store: workers push result blobs back inside their ``result`` frames
+and the scheduler writes them through ``plan.record`` — the same
+atomic :meth:`~repro.experiments.cache.ResultCache.put` path every
+backend uses — so checkpoints are backend-agnostic and a run journal
+written under one backend resumes under any other.
+
+Determinism: workers compute with the same ``execute_task`` as inline
+and pool execution, and the scheduler merges payloads in task order,
+never completion or dispatch order — so a remote run's series, trace
+and metrics digests are byte-identical to an inline run of the same
+spec, regardless of worker count, join order, crashes or requeues.
+
+The fabric persists across :meth:`execute` calls (one worker set
+serves a whole ``run_all``); :meth:`close` says bye to dialed daemons
+and terminates launched ones.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import shlex
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from typing import Optional
+
+import repro
+from repro import __version__
+from repro.experiments.backends.base import ExecutionBackend, SweepPlan
+from repro.experiments.backends.protocol import (
+    ProtocolError,
+    format_addr,
+    parse_addr,
+    recv_frame,
+    send_frame,
+)
+
+
+class RemoteFabricError(RuntimeError):
+    """The worker fabric cannot make progress (no workers reachable, or
+    every worker died with tasks outstanding and none can rejoin)."""
+
+
+class _Worker:
+    """Scheduler-side state for one connected worker."""
+
+    __slots__ = ("sock", "id", "pid", "slots", "inflight", "last_seen")
+
+    def __init__(self, sock: socket.socket, hello: dict):
+        self.sock = sock
+        self.id = str(hello.get("worker", "?"))
+        self.pid = hello.get("pid")
+        self.slots = max(1, int(hello.get("slots", 1)))
+        #: tid -> (task index, attempt, deadline or None)
+        self.inflight: dict[int, tuple[int, int, Optional[float]]] = {}
+        self.last_seen = time.monotonic()
+
+
+class RemoteBackend(ExecutionBackend):
+    """Dispatch sweep tasks to worker daemons over the wire."""
+
+    name = "remote"
+
+    def __init__(self, workers=(), listen: Optional[str] = None,
+                 launch: int = 0, launcher: Optional[str] = None,
+                 connect_timeout_s: float = 30.0,
+                 heartbeat_timeout_s: float = 15.0,
+                 poll_interval_s: float = 0.05):
+        if not (workers or listen or launch):
+            raise ValueError("remote backend needs workers=, listen= "
+                             "or launch=")
+        self.addresses = tuple(workers)
+        self.listen = listen
+        self.launch = int(launch)
+        self.launcher = launcher
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.poll_interval_s = poll_interval_s
+
+        self._listener: Optional[socket.socket] = None
+        self._workers: dict[socket.socket, _Worker] = {}
+        self._procs: list[subprocess.Popen] = []
+        self._tid = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Fabric lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def bound_address(self) -> Optional[str]:
+        """The listener's actual ``host:port`` (after :meth:`start`)."""
+        if self._listener is None:
+            return None
+        return format_addr(self._listener.getsockname()[:2])
+
+    def start(self) -> None:
+        """Stand up the fabric: bind, launch, dial, await hellos."""
+        if self._started:
+            return
+        if self.listen or self.launch:
+            host, port = parse_addr(self.listen or "127.0.0.1:0")
+            srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            srv.bind((host, port))
+            srv.listen(64)
+            srv.setblocking(False)
+            self._listener = srv
+        for _ in range(self.launch):
+            self._procs.append(self._spawn(self.bound_address))
+        for addr in self.addresses:
+            self._dial(addr)
+        # Launched workers dial back in; an explicit listen address
+        # must attract at least one worker before dispatch can start.
+        want_dial_ins = self.launch or (1 if self.listen else 0)
+        deadline = time.monotonic() + self.connect_timeout_s
+        joined = 0
+        while joined < want_dial_ins:
+            self._reap_dead_launches()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RemoteFabricError(
+                    f"only {joined}/{want_dial_ins} worker(s) joined "
+                    f"within {self.connect_timeout_s}s")
+            readable, _, _ = select.select([self._listener], [], [],
+                                           min(0.2, remaining))
+            if readable and self._accept() is not None:
+                joined += 1
+        self._started = True
+
+    def close(self) -> None:
+        """Dismiss the fabric: bye to daemons, reap launched workers."""
+        for worker in list(self._workers.values()):
+            try:
+                send_frame(worker.sock, "bye")
+            except OSError:
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._procs.clear()
+        self._started = False
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _spawn(self, addr: str) -> subprocess.Popen:
+        host, port = parse_addr(addr)
+        if self.launcher:
+            cmd = shlex.split(
+                self.launcher.format(addr=addr, host=host, port=port))
+        else:
+            cmd = [sys.executable, "-m", "repro.cli", "worker",
+                   "--connect", addr]
+        env = os.environ.copy()
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.Popen(cmd, env=env)
+
+    def _reap_dead_launches(self) -> None:
+        dead = [p for p in self._procs if p.poll() is not None]
+        if dead:
+            self._procs = [p for p in self._procs if p.poll() is None]
+            raise RemoteFabricError(
+                f"launched worker exited with code {dead[0].returncode} "
+                f"before joining (cmd: {' '.join(map(str, dead[0].args))})")
+
+    def _dial(self, addr: str) -> None:
+        """Connect out to a listening worker daemon and register it."""
+        try:
+            sock = socket.create_connection(
+                parse_addr(addr), timeout=self.connect_timeout_s)
+        except OSError as exc:
+            self.close()
+            raise RemoteFabricError(
+                f"cannot reach worker at {addr}: {exc}") from exc
+        self._register(sock, where=addr)
+
+    def _accept(self) -> Optional[_Worker]:
+        try:
+            sock, peer = self._listener.accept()
+        except OSError:
+            return None
+        return self._register(sock, where=f"{peer[0]}:{peer[1]}")
+
+    def _register(self, sock: socket.socket,
+                  where: str) -> Optional[_Worker]:
+        """Validate a new connection's hello and adopt the worker."""
+        sock.settimeout(self.connect_timeout_s)
+        try:
+            kind, hello = recv_frame(sock)
+        except (EOFError, ProtocolError, OSError) as exc:
+            sock.close()
+            raise RemoteFabricError(
+                f"no hello from worker at {where}: {exc}") from exc
+        if kind != "hello":
+            sock.close()
+            raise RemoteFabricError(
+                f"worker at {where} opened with {kind!r}, expected hello")
+        if hello.get("version") != __version__:
+            # A version-skewed worker would compute payloads the cache
+            # material says belong to a different code version.
+            try:
+                send_frame(sock, "bye")
+            except OSError:
+                pass
+            sock.close()
+            raise RemoteFabricError(
+                f"worker {hello.get('worker')!r} at {where} runs version "
+                f"{hello.get('version')!r}, scheduler runs {__version__!r}")
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        worker = _Worker(sock, hello)
+        self._workers[sock] = worker
+        return worker
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: SweepPlan) -> None:
+        self.start()
+        cfg = plan.resilience
+        pending = deque((i, 1) for i in plan.todo)
+        backoff: list[tuple[float, int, int]] = []
+
+        plan.stats.setdefault("workers_joined", 0)
+        plan.stats["workers_joined"] += len(self._workers)
+
+        def requeue_or_fail(i, attempt, kind, message):
+            delay = plan.dispose(i, attempt, kind, message)
+            if delay is not None:
+                backoff.append((time.monotonic() + delay, i, attempt + 1))
+
+        def drop_worker(worker: _Worker, reason: str,
+                        skip_tids=(), penalty: bool = True) -> None:
+            """Forget a dead/expired worker and requeue its tasks."""
+            self._workers.pop(worker.sock, None)
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            plan.stats["workers_lost"] = (
+                plan.stats.get("workers_lost", 0) + 1)
+            for tid, (i, attempt, _dl) in worker.inflight.items():
+                if tid in skip_tids:
+                    continue
+                if penalty:
+                    requeue_or_fail(i, attempt, "worker-crash",
+                                    f"worker {worker.id} {reason}")
+                else:
+                    pending.append((i, attempt))
+            worker.inflight.clear()
+
+        def assign() -> None:
+            for worker in list(self._workers.values()):
+                while pending and len(worker.inflight) < worker.slots:
+                    i, attempt = pending.popleft()
+                    self._tid += 1
+                    tid = self._tid
+                    deadline = (time.monotonic() + cfg.timeout_s
+                                if cfg.timeout_s else None)
+                    worker.inflight[tid] = (i, attempt, deadline)
+                    try:
+                        send_frame(worker.sock, "task", {
+                            "tid": tid, "index": i,
+                            "task": plan.tasks[i],
+                            "scale": plan.scale, "seed": plan.seed,
+                            "capture": plan.capture,
+                        })
+                    except OSError:
+                        drop_worker(worker, "dropped the connection "
+                                            "at dispatch")
+                        break
+
+        def inflight_total() -> int:
+            return sum(len(w.inflight) for w in self._workers.values())
+
+        def handle_frame(worker: _Worker) -> None:
+            try:
+                kind, payload = recv_frame(worker.sock)
+            except (EOFError, ProtocolError, OSError):
+                drop_worker(worker, "died (connection lost)")
+                return
+            worker.last_seen = time.monotonic()
+            if kind == "heartbeat":
+                return
+            if kind not in ("result", "error"):
+                return
+            entry = worker.inflight.pop(payload.get("tid"), None)
+            if entry is None:  # reply for a task we already requeued
+                return
+            i, attempt, _deadline = entry
+            if kind == "result":
+                plan.record(i, payload["payload"])
+            else:
+                requeue_or_fail(i, attempt, payload.get("kind",
+                                                        "exception"),
+                                payload.get("message", "worker error"))
+
+        no_worker_since: Optional[float] = None
+        try:
+            while pending or backoff or inflight_total():
+                nowm = time.monotonic()
+                if backoff:
+                    ready = sorted(b for b in backoff if b[0] <= nowm)
+                    backoff = [b for b in backoff if b[0] > nowm]
+                    pending.extend((i, att) for _t, i, att in ready)
+
+                if not self._workers:
+                    # Fabric lost. Dial-in joiners may still save the
+                    # run; otherwise fail loudly rather than spin.
+                    if self._listener is None:
+                        raise RemoteFabricError(
+                            "all remote workers died with tasks "
+                            "outstanding and no listener is open for "
+                            "replacements")
+                    if no_worker_since is None:
+                        no_worker_since = nowm
+                    elif nowm - no_worker_since > self.connect_timeout_s:
+                        raise RemoteFabricError(
+                            f"all remote workers died; none rejoined "
+                            f"within {self.connect_timeout_s}s")
+                else:
+                    no_worker_since = None
+
+                assign()
+
+                timeout = self.poll_interval_s
+                if backoff:
+                    timeout = min(timeout, max(
+                        0.0, min(b[0] for b in backoff) - nowm))
+                if cfg.timeout_s:
+                    deadlines = [d for w in self._workers.values()
+                                 for (_i, _a, d) in w.inflight.values()
+                                 if d is not None]
+                    if deadlines:
+                        timeout = min(timeout, max(
+                            0.0, min(deadlines) - time.monotonic()))
+                rlist = list(self._workers)
+                if self._listener is not None:
+                    rlist.append(self._listener)
+                readable, _, _ = select.select(rlist, [], [], timeout)
+
+                for sock in readable:
+                    if sock is self._listener:
+                        try:
+                            worker = self._accept()
+                        except RemoteFabricError:
+                            worker = None  # reject bad joiner, carry on
+                        if worker is not None:
+                            plan.stats["workers_joined"] += 1
+                        continue
+                    worker = self._workers.get(sock)
+                    if worker is not None:
+                        handle_frame(worker)
+
+                nowm = time.monotonic()
+                if cfg.timeout_s:
+                    for worker in list(self._workers.values()):
+                        expired = [
+                            (tid, entry)
+                            for tid, entry in worker.inflight.items()
+                            if entry[2] is not None and nowm >= entry[2]]
+                        if not expired:
+                            continue
+                        # A hung remote task cannot be preempted: fail
+                        # it, drop the worker, requeue its innocent
+                        # in-flight tasks without attempt penalty.
+                        for tid, (i, attempt, _dl) in expired:
+                            requeue_or_fail(
+                                i, attempt, "timeout",
+                                f"exceeded per-task timeout of "
+                                f"{cfg.timeout_s}s on worker {worker.id}")
+                        drop_worker(
+                            worker, "timed out",
+                            skip_tids={tid for tid, _ in expired},
+                            penalty=False)
+                for worker in list(self._workers.values()):
+                    if nowm - worker.last_seen > self.heartbeat_timeout_s:
+                        drop_worker(
+                            worker,
+                            f"missed heartbeats for "
+                            f"{self.heartbeat_timeout_s:g}s")
+        except BaseException:
+            # Run-fatal exit (SweepFailure, fabric loss, interrupt):
+            # tear the fabric down so launched workers never outlive a
+            # failed scheduler. Completed tasks were already recorded
+            # (and journalled) through plan.record.
+            self.close()
+            raise

@@ -1,0 +1,185 @@
+"""Sweep worker daemon: executes pickled tasks for a remote scheduler.
+
+Two connection modes, mirroring the scheduler's
+(:class:`~repro.experiments.backends.remote.RemoteBackend`):
+
+* ``run_worker(connect="HOST:PORT")`` — dial the scheduler (retrying
+  briefly so workers may start before it listens), serve that one
+  scheduler, exit when it closes the connection. This is what the
+  scheduler's worker launcher spawns.
+* ``run_worker(listen="HOST:PORT")`` — bind, print the bound address
+  (``worker <id> listening on HOST:PORT``) and serve schedulers one
+  connection at a time; with ``once=True`` exit after the first
+  scheduler disconnects (CI smoke daemons clean themselves up).
+
+A worker executes tasks strictly sequentially in its main thread with
+:func:`~repro.experiments.backends.base.execute_task` — the same
+function the inline and pool backends call, which is half of the
+determinism argument (the other half is the scheduler's task-order
+merge). A background thread sends heartbeat frames so the scheduler can
+tell "busy with a long task" from "frozen": the send path is guarded by
+a lock shared with result frames.
+
+A task that raises is reported as an ``error`` frame (the scheduler
+maps it onto the ``exception`` failure kind and retries elsewhere); a
+task that kills the worker process drops the connection, which the
+scheduler maps onto ``worker-crash`` and requeues — exactly the pool
+backend's taxonomy.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro import __version__
+from repro.experiments.backends.base import execute_task
+from repro.experiments.backends.protocol import (
+    ProtocolError,
+    format_addr,
+    parse_addr,
+    recv_frame,
+    send_frame,
+)
+
+#: Seconds between heartbeat frames while serving a scheduler.
+DEFAULT_HEARTBEAT_S = 2.0
+
+#: How long a dialing worker keeps retrying an unreachable scheduler.
+DEFAULT_DIAL_RETRY_S = 15.0
+
+
+def _log(message: str) -> None:
+    print(f"[worker] {message}", file=sys.stderr, flush=True)
+
+
+def serve_connection(sock: socket.socket, worker_id: str,
+                     heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> str:
+    """Serve one scheduler over ``sock`` until it disconnects.
+
+    Returns a short reason string (``"bye"`` / ``"eof"``).
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    with send_lock:
+        send_frame(sock, "hello", {
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "version": __version__,
+            "slots": 1,
+        })
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_s):
+            try:
+                with send_lock:
+                    send_frame(sock, "heartbeat")
+            except OSError:
+                return
+
+    thread = threading.Thread(target=beat, daemon=True,
+                              name=f"heartbeat-{worker_id}")
+    thread.start()
+    try:
+        while True:
+            try:
+                kind, payload = recv_frame(sock)
+            except (EOFError, ProtocolError, OSError):
+                return "eof"
+            if kind == "bye":
+                return "bye"
+            if kind != "task":
+                continue
+            reply_kind, reply = _run_task(payload)
+            try:
+                with send_lock:
+                    send_frame(sock, reply_kind, reply)
+            except OSError:
+                return "eof"
+    finally:
+        stop.set()
+
+
+def _run_task(payload: dict) -> tuple[str, dict]:
+    """Execute one task frame; package the result or the failure."""
+    head = {"tid": payload["tid"], "index": payload["index"]}
+    try:
+        result = execute_task(payload["task"], payload["scale"],
+                              payload["seed"], payload["capture"])
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        return "error", {**head, "kind": "exception",
+                         "message": f"{type(exc).__name__}: {exc}"}
+    return "result", {**head, "payload": result}
+
+
+def _dial(addr: tuple[str, int], retry_s: float) -> socket.socket:
+    deadline = time.monotonic() + retry_s
+    while True:
+        try:
+            return socket.create_connection(addr, timeout=5.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def run_worker(connect: Optional[str] = None,
+               listen: Optional[str] = None,
+               worker_id: Optional[str] = None,
+               once: bool = False,
+               heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+               dial_retry_s: float = DEFAULT_DIAL_RETRY_S) -> int:
+    """Run a worker daemon; returns a process exit code.
+
+    Exactly one of ``connect`` (dial the scheduler) and ``listen``
+    (await schedulers) must be given.
+    """
+    if bool(connect) == bool(listen):
+        raise ValueError("pass exactly one of connect= or listen=")
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+
+    if connect:
+        addr = parse_addr(connect)
+        try:
+            sock = _dial(addr, dial_retry_s)
+        except OSError as exc:
+            _log(f"{worker_id}: cannot reach scheduler at "
+                 f"{format_addr(addr)}: {exc}")
+            return 1
+        with sock:
+            sock.settimeout(None)
+            reason = serve_connection(sock, worker_id, heartbeat_s)
+        _log(f"{worker_id}: scheduler at {format_addr(addr)} "
+             f"disconnected ({reason})")
+        return 0
+
+    host, port = parse_addr(listen)
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind((host, port))
+    srv.listen(1)
+    bound = srv.getsockname()[:2]
+    # The parseable line launchers and tests discover the port from.
+    print(f"worker {worker_id} listening on {format_addr(bound)}",
+          flush=True)
+    try:
+        while True:
+            sock, peer = srv.accept()
+            with sock:
+                sock.settimeout(None)
+                reason = serve_connection(sock, worker_id, heartbeat_s)
+            _log(f"{worker_id}: scheduler {peer[0]}:{peer[1]} "
+                 f"disconnected ({reason})")
+            if once:
+                return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 130
+    finally:
+        srv.close()

@@ -1,0 +1,274 @@
+"""Unified execution configuration for the sweep engine.
+
+:class:`RunConfig` collapses the ``jobs / cache / cache_dir /
+resilience / resume`` keyword sprawl that used to thread through
+:func:`~repro.experiments.parallel.run_spec`,
+:func:`~repro.experiments.runner.run_results`,
+:func:`~repro.experiments.runner.run_experiment` and
+:func:`~repro.experiments.runner.run_all` into one frozen value object,
+and adds the execution-backend selection the distributed fabric needs::
+
+    run_spec(spec, scale, seed, config=RunConfig(jobs=4, cache_dir=...))
+    run_spec(spec, scale, seed,
+             config=RunConfig(backend="remote", launch=2))
+
+The legacy keyword arguments still work for one release through
+:func:`coerce_config`, which emits exactly one :class:`DeprecationWarning`
+per call site and builds the equivalent :class:`RunConfig`.
+
+Validation happens in one place — :meth:`RunConfig.__post_init__` — so
+every entry point (library keywords, ``RunConfig.from_args`` on a parsed
+CLI namespace, direct construction) rejects bad combinations with the
+same message: negative ``jobs``, ``resume`` without a cache, an unknown
+backend name, or a remote backend with no way to reach workers.
+
+``jobs`` semantics (documented here once, enforced by
+:func:`resolve_jobs`): ``None`` and ``0`` both mean "use every core
+``os.cpu_count()`` reports"; positive integers are taken literally;
+negative values are rejected.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.resilience import DEFAULT_RESILIENCE, ResilienceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.backends.base import ExecutionBackend
+
+
+class _Unset:
+    """Sentinel distinguishing "kwarg not passed" from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: Default for the deprecated legacy keywords on ``run_spec`` and friends.
+_UNSET = _Unset()
+
+#: Accepted ``backend=`` names (``"auto"`` picks inline for one worker,
+#: pool otherwise).
+BACKEND_NAMES = ("auto", "inline", "pool", "remote")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` and ``0`` both mean "all cores" (whatever
+    ``os.cpu_count()`` reports); positive integers pass through;
+    negative values are rejected — there is no ``-N`` shorthand.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 or None = all cores), got {jobs}")
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How one sweep executes: backend, parallelism, cache, resilience.
+
+    The object is frozen — treat it as a value; derived state (the
+    result cache built from ``cache_dir``, the memoized backend) is
+    attached once and shared by every run using this config, so cache
+    hit/miss accounting and a remote backend's worker fabric span a
+    whole ``run_all`` instead of resetting per experiment.
+    """
+
+    #: ``"auto"`` | ``"inline"`` | ``"pool"`` | ``"remote"``, or an
+    #: already-constructed :class:`ExecutionBackend`. ``"auto"`` runs
+    #: inline when one worker is requested and on the pool otherwise.
+    backend: Union[str, "ExecutionBackend", None] = "auto"
+    #: Worker processes for the pool backend (``0``/``None`` = all
+    #: cores; see :func:`resolve_jobs`).
+    jobs: Optional[int] = 1
+    #: Content-addressed result cache (shared artifact store for the
+    #: remote backend). Built from ``cache_dir`` when not given.
+    cache: Optional[ResultCache] = None
+    #: Convenience: directory to build :attr:`cache` from.
+    cache_dir: Optional[str] = None
+    #: Retry/timeout/keep-going policy (None = the default policy).
+    resilience: Optional[ResilienceConfig] = None
+    #: Replay the run journal and execute only unfinished tasks.
+    resume: bool = False
+    #: Remote backend: ``"host:port"`` addresses of listening worker
+    #: daemons to dial (``cloudfog worker --listen ...``). A comma
+    #: separated string is accepted and split.
+    workers: tuple = ()
+    #: Remote backend: scheduler bind address for dial-in workers
+    #: (``cloudfog worker --connect ...``).
+    listen: Optional[str] = None
+    #: Remote backend: number of loopback workers to spawn via
+    #: :attr:`launcher`.
+    launch: int = 0
+    #: Worker launch command template; ``{addr}`` (and ``{host}``,
+    #: ``{port}``) are substituted. Default: this interpreter running
+    #: ``repro.cli worker --connect {addr}``. SSH-compatible, e.g.
+    #: ``"ssh gpu1 cloudfog worker --connect {addr}"``.
+    launcher: Optional[str] = None
+
+    def __post_init__(self):
+        resolve_jobs(self.jobs)  # the single jobs-validation point
+        if isinstance(self.workers, str):
+            parts = tuple(a for a in
+                          (p.strip() for p in self.workers.split(","))
+                          if a)
+            object.__setattr__(self, "workers", parts)
+        else:
+            object.__setattr__(self, "workers", tuple(self.workers))
+        name = self.backend_name
+        if name not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(choose from {', '.join(BACKEND_NAMES)} or pass an "
+                f"ExecutionBackend instance)")
+        if self.launch < 0:
+            raise ValueError(f"launch must be >= 0, got {self.launch}")
+        if self.cache is None and self.cache_dir:
+            object.__setattr__(self, "cache", ResultCache(self.cache_dir))
+        if self.resume and self.cache is None:
+            raise ValueError(
+                "resume requires a result cache (the journal lives next "
+                "to it); pass cache= or cache_dir=")
+        if (name == "remote" and isinstance(self.backend, str)
+                and not (self.workers or self.listen or self.launch)):
+            # An already-constructed RemoteBackend instance carries its
+            # own endpoints; only the by-name form needs them here.
+            raise ValueError(
+                "the remote backend needs at least one of workers= "
+                "(addresses to dial), listen= (accept dial-in workers) "
+                "or launch= (spawn loopback workers)")
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """The backend's name, normalizing None and instances."""
+        if self.backend is None:
+            return "auto"
+        if isinstance(self.backend, str):
+            return self.backend
+        return getattr(self.backend, "name", "auto")
+
+    @property
+    def resolved_resilience(self) -> ResilienceConfig:
+        return (self.resilience if self.resilience is not None
+                else DEFAULT_RESILIENCE)
+
+    def make_backend(self) -> "ExecutionBackend":
+        """The (memoized) backend instance this config executes on.
+
+        Every :func:`run_spec` call sharing this config reuses the same
+        backend, so a remote fabric's workers persist across the
+        experiments of one ``run_all``/CLI invocation.
+        """
+        backend = getattr(self, "_backend", None)
+        if backend is None:
+            backend = self._build_backend()
+            object.__setattr__(self, "_backend", backend)
+        return backend
+
+    def _build_backend(self) -> "ExecutionBackend":
+        from repro.experiments.backends import (
+            ExecutionBackend,
+            InlineBackend,
+            PoolBackend,
+            RemoteBackend,
+        )
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        name = self.backend_name
+        if name == "auto":
+            name = "pool" if resolve_jobs(self.jobs) > 1 else "inline"
+        if name == "inline":
+            return InlineBackend()
+        if name == "pool":
+            return PoolBackend(jobs=self.jobs)
+        return RemoteBackend(workers=self.workers, listen=self.listen,
+                             launch=self.launch, launcher=self.launcher)
+
+    def close(self) -> None:
+        """Tear down the memoized backend (bye frames to dial-out
+        workers, terminate launched ones). Safe to call repeatedly."""
+        backend = getattr(self, "_backend", None)
+        if backend is not None:
+            object.__setattr__(self, "_backend", None)
+            backend.close()
+
+    def __enter__(self) -> "RunConfig":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_args(cls, args) -> "RunConfig":
+        """Build a config from a parsed argparse namespace.
+
+        Reads the flags :func:`repro.cli.add_execution_args` installs;
+        missing attributes fall back to the library defaults, so any
+        namespace (even a bare ``argparse.Namespace()``) works.
+        """
+        cache_dir = getattr(args, "cache_dir", None)
+        if getattr(args, "no_cache", False):
+            cache_dir = None
+        resilience = ResilienceConfig(
+            max_retries=getattr(args, "retries", 2),
+            timeout_s=getattr(args, "task_timeout", None),
+            keep_going=getattr(args, "keep_going", False),
+        )
+        backend = getattr(args, "backend", "auto") or "auto"
+        if backend == "auto" and (getattr(args, "workers", None)
+                                  or getattr(args, "listen", None)
+                                  or getattr(args, "launch", 0)):
+            backend = "remote"  # --workers/--listen/--launch imply it
+        return cls(
+            backend=backend,
+            jobs=getattr(args, "jobs", 1),
+            cache_dir=cache_dir,
+            resilience=resilience,
+            resume=getattr(args, "resume", False),
+            workers=getattr(args, "workers", None) or (),
+            listen=getattr(args, "listen", None),
+            launch=getattr(args, "launch", 0) or 0,
+            launcher=getattr(args, "launcher", None),
+        )
+
+
+def coerce_config(config: Optional[RunConfig], *, stacklevel: int = 3,
+                  **legacy) -> RunConfig:
+    """Resolve a ``config=`` argument against deprecated legacy kwargs.
+
+    ``legacy`` values equal to :data:`_UNSET` were not passed. Passing
+    both a config and legacy keywords is an error; passing only legacy
+    keywords emits exactly one :class:`DeprecationWarning` (per call)
+    and builds the equivalent :class:`RunConfig`.
+    """
+    given = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if config is not None:
+        if given:
+            raise TypeError(
+                "pass execution options either through config=RunConfig(...) "
+                f"or the deprecated keywords ({', '.join(sorted(given))}), "
+                "not both")
+        return config
+    if not given:
+        return RunConfig()
+    warnings.warn(
+        "the jobs=/cache=/cache_dir=/resilience=/resume= keyword "
+        "arguments are deprecated; pass config=RunConfig(backend=..., "
+        "jobs=..., cache=..., resilience=..., resume=...) instead",
+        DeprecationWarning, stacklevel=stacklevel)
+    if given.get("resume") is None:
+        given["resume"] = False
+    return RunConfig(**given)

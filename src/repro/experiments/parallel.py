@@ -1,28 +1,32 @@
-"""Parallel sweep execution engine with deterministic merging.
+"""Backend-agnostic sweep scheduler with deterministic merging.
 
 :func:`run_spec` executes one experiment's
-:class:`~repro.experiments.api.SweepTask` decomposition either inline
-(``jobs=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`
-(``jobs>1``), and merges the per-task payloads **in task order**, never
-completion order. Both paths run every task under its own private
+:class:`~repro.experiments.api.SweepTask` decomposition on whichever
+:class:`~repro.experiments.backends.ExecutionBackend` the run's
+:class:`~repro.experiments.config.RunConfig` selects — serial inline,
+the local process pool, or the remote worker fabric — and merges the
+per-task payloads **in task order**, never completion order. Every
+backend runs each task under its own private
 :class:`~repro.obs.Observability` (fresh metrics registry, plus a fresh
-trace recorder when the parent run traces) and then fold the task's
-telemetry into the parent the same way, so a parallel run is
-byte-identical to a serial one: same series, same
+trace recorder when the parent run traces) and the scheduler folds the
+telemetry into the parent the same way, so any two runs of the same
+spec are byte-identical regardless of backend: same series, same
 :class:`~repro.experiments.api.RunResult` digest, same trace digest,
 same merged metrics snapshot.
 
-Randomness: tasks carry no RNG state across the process boundary — each
-task re-derives its substreams from ``(scale, seed, task params)``
-exactly as the serial sweep's points do (populations rebuild from the
-scenario seed; microcosms seed their own registries), which is what
+Randomness: tasks carry no RNG state across process (or host)
+boundaries — each task re-derives its substreams from ``(scale, seed,
+task params)`` exactly as the serial sweep's points do, which is what
 makes the decomposition sound in the first place.
 
 Caching: with a :class:`~repro.experiments.cache.ResultCache` attached,
 each task is looked up by the SHA-256 of its content-addressed cache
 material before executing and stored **as soon as its result arrives**
 (completion order), so a crash late in a sweep never discards earlier
-tasks' entries; warm re-runs skip the simulation wholesale. Cache
+tasks' entries; warm re-runs skip the simulation wholesale. For the
+remote backend the cache doubles as the fabric's shared artifact store:
+workers push result blobs back with their task replies and the
+scheduler writes them through the same atomic cache path. Cache
 *reads* are disabled while an observability context is attached,
 because a cache hit cannot replay the trace events the context would
 have recorded (entries are still written, so a traced cold run warms
@@ -30,31 +34,28 @@ the cache for later untraced runs).
 
 Resilience (see :mod:`repro.experiments.resilience`): every task runs
 under a :class:`~repro.experiments.resilience.ResilienceConfig` —
-bounded retries with exponential backoff for tasks that raise, a
-per-task wall-clock watchdog that terminates hung workers (``jobs>1``)
-and reschedules their tasks, and transparent pool rebuild after a
-worker crash (``BrokenProcessPool``). Because task payloads are pure
-functions of ``(task, scale, seed)``, a task that fails and then
-succeeds on retry yields a byte-identical series/trace/metrics digest
-to a run that never failed. With a cache attached, a crash-safe JSONL
-journal checkpoints each completed task so ``run_spec(..., resume=True)``
-(or ``cloudfog <exp> --resume``) re-executes only the remaining tasks
-after the harness itself is killed. Harness-level telemetry
+bounded retries with exponential backoff for tasks that raise, per-task
+wall-clock watchdogs for backends whose workers can be terminated, and
+transparent recovery from dead workers (pool rebuild, remote requeue).
+Because task payloads are pure functions of ``(task, scale, seed)``, a
+task that fails and then succeeds on retry yields a byte-identical
+series/trace/metrics digest to a run that never failed. With a cache
+attached, a crash-safe JSONL journal checkpoints each completed task so
+``resume=True`` re-executes only the remaining tasks after the
+scheduler itself is killed — under *any* backend, since journal keys
+are content-addressed, not backend-addressed. Harness-level telemetry
 (``harness.retries``, ``harness.timeouts``, ``harness.worker_crashes``,
-``harness.pool_rebuilds``, ``harness.tasks_failed``, ...) is emitted to
-the ambient :mod:`repro.obs` context and deliberately kept *out* of the
-merged :class:`RunResult` metrics, which stay inside the determinism
-envelope.
+``harness.workers_lost``, ...) is emitted to the ambient
+:mod:`repro.obs` context and deliberately kept *out* of the merged
+:class:`RunResult` metrics, which stay inside the determinism envelope.
+
+The pre-``RunConfig`` keyword arguments (``jobs=``, ``cache=``,
+``resilience=``, ``resume=``) still work for one release and emit a
+single :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import os
-import signal
-import threading
-import time
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
 from typing import Optional
 
 import repro.obs as obs_mod
@@ -62,23 +63,25 @@ from repro import __version__
 from repro.experiments.api import (
     ExperimentSpec,
     RunResult,
-    SweepTask,
     TaskResult,
     now,
     series_digest,
 )
-from repro.experiments.cache import ResultCache, material_digest
+from repro.experiments.backends.base import SweepPlan, execute_task  # noqa: F401 (re-export)
+from repro.experiments.cache import material_digest
+from repro.experiments.config import (
+    _UNSET,
+    RunConfig,
+    coerce_config,
+    resolve_jobs,  # noqa: F401 (re-export; canonical home is config)
+)
 from repro.experiments.resilience import (
-    DEFAULT_RESILIENCE,
-    PoolManager,
-    ResilienceConfig,
     RunJournal,
     SweepFailure,
     TaskFailure,
     journal_path,
     run_material,
 )
-from repro.obs import Observability, TraceRecorder
 from repro.obs.metrics import MetricsRegistry
 
 #: Failure kind -> harness stats counter name.
@@ -89,68 +92,38 @@ _KIND_COUNTERS = {
 }
 
 
-def execute_task(task: SweepTask, scale: float, seed: int,
-                 capture_trace: bool = False):
-    """Run one task under a private observability context.
-
-    Returns ``(data, metrics_snapshot, events, elapsed_s)`` where
-    ``events`` is a tuple of ``(t, component, kind, data)`` tuples (empty
-    unless ``capture_trace``). This is the process-pool worker: it takes
-    only picklable values and resolves the runner by name from
-    :data:`repro.experiments.specs.TASK_RUNNERS`.
-    """
-    from repro.experiments.specs import TASK_RUNNERS
-    runner = TASK_RUNNERS.get(task.runner)
-    if runner is None:
-        raise KeyError(
-            f"unknown task runner {task.runner!r} "
-            f"(registered: {sorted(TASK_RUNNERS)})")
-    task_obs = Observability(
-        trace=TraceRecorder() if capture_trace else None)
-    t0 = now()
-    with obs_mod.use(task_obs):
-        data = runner(scale, seed, task.params)
-    elapsed = now() - t0
-    events = (tuple((e.t, e.component, e.kind, e.data)
-                    for e in task_obs.trace.events)
-              if capture_trace else ())
-    return data, task_obs.metrics.snapshot(), events, elapsed
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request (``None``/``0`` = all cores)."""
-    if not jobs:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be positive, got {jobs}")
-    return int(jobs)
-
-
 def run_spec(
     spec: ExperimentSpec,
     scale: float = 0.1,
     seed: int = 42,
     *,
-    jobs: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
-    obs: Optional[Observability] = None,
-    resilience: Optional[ResilienceConfig] = None,
-    resume: bool = False,
+    config: Optional[RunConfig] = None,
+    obs: Optional["obs_mod.Observability"] = None,
+    jobs=_UNSET,
+    cache=_UNSET,
+    resilience=_UNSET,
+    resume=_UNSET,
 ) -> RunResult:
     """Execute one experiment spec and merge its tasks deterministically.
 
-    ``resilience`` sets the retry/timeout/keep-going policy (default:
-    :data:`~repro.experiments.resilience.DEFAULT_RESILIENCE`).
-    ``resume=True`` requires a cache and replays the run's journal so
-    only tasks not checkpointed by an earlier (killed) invocation
-    execute; the final result is byte-identical to an uninterrupted run.
+    ``config`` selects the backend, parallelism, cache and resilience
+    policy (default: :class:`RunConfig`'s defaults — inline execution,
+    no cache). ``resume=True`` on the config requires a cache and
+    replays the run's journal so only tasks not checkpointed by an
+    earlier (killed) invocation execute; the final result is
+    byte-identical to an uninterrupted run on any backend.
+
+    ``jobs=`` / ``cache=`` / ``resilience=`` / ``resume=`` keywords are
+    deprecated shims for the same fields on :class:`RunConfig`.
     """
     t_run = now()
-    cfg = resilience if resilience is not None else DEFAULT_RESILIENCE
-    if resume and cache is None:
-        raise ValueError("resume requires a result cache (the journal "
-                         "lives next to it)")
-    jobs = resolve_jobs(jobs)
+    config = coerce_config(config, jobs=jobs, cache=cache,
+                           resilience=resilience, resume=resume)
+    cfg = config.resolved_resilience
+    cache = config.cache
+    resume = config.resume
+    backend = config.make_backend()
+
     tasks = spec.decompose(scale, seed)
     keys = [t.key for t in tasks]
     if len(set(keys)) != len(keys):
@@ -225,13 +198,11 @@ def run_spec(
             raise SweepFailure(failures)
         return None
 
+    plan = SweepPlan(tasks=tasks, todo=todo, scale=scale, seed=seed,
+                     capture=capture, resilience=cfg, record=record,
+                     dispose=dispose, stats=stats)
     try:
-        if jobs > 1 and len(todo) > 1:
-            _run_pooled(tasks, todo, scale, seed, capture,
-                        min(jobs, len(todo)), cfg, record, dispose, stats)
-        else:
-            _run_inline(tasks, todo, scale, seed, capture, cfg, record,
-                        dispose)
+        backend.execute(plan)
     except BaseException:
         # Crash-safe exit: every completed task was already cached and
         # journalled in record(); just seal the file.
@@ -239,7 +210,8 @@ def run_spec(
             journal.close()
         raise
 
-    # Deterministic absorption: task order, regardless of worker count.
+    # Deterministic absorption: task order, regardless of which worker
+    # (or host) produced each payload.
     merged = MetricsRegistry()
     for r in results:
         if r is None:
@@ -287,171 +259,20 @@ def run_spec(
     return result
 
 
-def _run_inline(tasks, todo, scale, seed, capture, cfg, record, dispose):
-    """Serial execution with retry/backoff (no preemptive timeout: an
-    inline task cannot be cancelled, only a worker process can)."""
-    for i in todo:
-        attempt = 1
-        while True:
-            try:
-                payload = execute_task(tasks[i], scale, seed, capture)
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except BaseException as exc:
-                delay = dispose(i, attempt, "exception",
-                                f"{type(exc).__name__}: {exc}")
-                if delay is None:
-                    break
-                cfg.sleep(delay)
-                attempt += 1
-            else:
-                record(i, payload)
-                break
-
-
-def _run_pooled(tasks, todo, scale, seed, capture, workers, cfg, record,
-                dispose, stats):
-    """Pooled execution with watchdog timeouts, retry/backoff, pool
-    rebuild after worker crashes, and graceful SIGINT draining."""
-    pending = deque((i, 1) for i in todo)
-    backoff: list[tuple[float, int, int]] = []  # (ready_at, index, attempt)
-    inflight: dict = {}  # future -> (index, attempt, deadline)
-    mgr = PoolManager(workers)
-
-    interrupted: list[bool] = []
-    prev_handler = None
-    if threading.current_thread() is threading.main_thread():
-        try:
-            prev_handler = signal.signal(
-                signal.SIGINT, lambda _s, _f: interrupted.append(True))
-        except ValueError:  # pragma: no cover - non-main interpreter
-            prev_handler = None
-
-    def requeue_or_fail(i, attempt, kind, message):
-        delay = dispose(i, attempt, kind, message)
-        if delay is not None:
-            backoff.append((time.monotonic() + delay, i, attempt + 1))
-
-    def salvage_or(fut, fallback):
-        """Collect a future that finished despite pool trouble, else
-        apply ``fallback`` to its task."""
-        i, attempt, _deadline = inflight.pop(fut)
-        if fut.done() and not fut.cancelled():
-            try:
-                record(i, fut.result())
-                return
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except BaseException:
-                pass
-        fallback(i, attempt)
-
-    try:
-        while pending or backoff or inflight:
-            if interrupted:
-                raise KeyboardInterrupt
-            nowm = time.monotonic()
-            if backoff:
-                ready = sorted(b for b in backoff if b[0] <= nowm)
-                backoff = [b for b in backoff if b[0] > nowm]
-                pending.extend((i, att) for _t, i, att in ready)
-            while pending and len(inflight) < workers:
-                i, attempt = pending.popleft()
-                fut = mgr.submit(execute_task, tasks[i], scale, seed,
-                                 capture)
-                deadline = (time.monotonic() + cfg.timeout_s
-                            if cfg.timeout_s else None)
-                inflight[fut] = (i, attempt, deadline)
-            if not inflight:
-                wake = min(b[0] for b in backoff)
-                cfg.sleep(max(0.0, wake - time.monotonic()))
-                continue
-
-            timeout = cfg.poll_interval_s
-            deadlines = [d for (_i, _a, d) in inflight.values()
-                         if d is not None]
-            if deadlines:
-                timeout = max(0.0, min(timeout,
-                                       min(deadlines) - time.monotonic()))
-            done, _ = wait(list(inflight), timeout=timeout,
-                           return_when=FIRST_COMPLETED)
-
-            crashed = False
-            for fut in done:
-                i, attempt, _deadline = inflight.pop(fut)
-                try:
-                    payload = fut.result()
-                except BrokenExecutor as exc:
-                    crashed = True
-                    requeue_or_fail(
-                        i, attempt, "worker-crash",
-                        f"worker process died "
-                        f"({exc if str(exc) else 'BrokenProcessPool'})")
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except BaseException as exc:
-                    requeue_or_fail(i, attempt, "exception",
-                                    f"{type(exc).__name__}: {exc}")
-                else:
-                    record(i, payload)
-
-            if crashed:
-                # The pool is broken: every in-flight future is dead
-                # with it. Requeue them and stand up a fresh pool.
-                for fut in list(inflight):
-                    salvage_or(fut, lambda i, att: requeue_or_fail(
-                        i, att, "worker-crash",
-                        "worker process died (pool broke mid-task)"))
-                mgr.rebuild()
-                stats["pool_rebuilds"] = mgr.rebuilds
-
-            if cfg.timeout_s and inflight:
-                nowm = time.monotonic()
-                expired = [fut for fut, (_i, _a, d) in inflight.items()
-                           if d is not None and nowm >= d
-                           and not fut.done()]
-                if expired:
-                    # A hung worker cannot be cancelled individually:
-                    # fail the expired tasks, requeue the innocent
-                    # in-flight ones (no attempt penalty) and rebuild.
-                    for fut in expired:
-                        i, attempt, _deadline = inflight.pop(fut)
-                        requeue_or_fail(
-                            i, attempt, "timeout",
-                            f"exceeded per-task timeout of "
-                            f"{cfg.timeout_s}s")
-                    for fut in list(inflight):
-                        salvage_or(fut,
-                                   lambda i, att: pending.append((i, att)))
-                    mgr.rebuild()
-                    stats["pool_rebuilds"] = mgr.rebuilds
-
-            if interrupted:
-                # Graceful drain: completed futures above were already
-                # recorded (and journalled); abandon the rest.
-                raise KeyboardInterrupt
-    except BaseException:
-        mgr.shutdown(terminate=True)
-        raise
-    else:
-        mgr.shutdown()
-    finally:
-        if prev_handler is not None:
-            signal.signal(signal.SIGINT, prev_handler)
-
-
 def run_named(
     name: str,
     scale: float = 0.1,
     seed: int = 42,
     *,
-    jobs: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
-    obs: Optional[Observability] = None,
-    resilience: Optional[ResilienceConfig] = None,
-    resume: bool = False,
+    config: Optional[RunConfig] = None,
+    obs: Optional["obs_mod.Observability"] = None,
+    jobs=_UNSET,
+    cache=_UNSET,
+    resilience=_UNSET,
+    resume=_UNSET,
 ) -> RunResult:
     """:func:`run_spec` by exact experiment key."""
     from repro.experiments.specs import get_spec
-    return run_spec(get_spec(name), scale, seed, jobs=jobs, cache=cache,
-                    obs=obs, resilience=resilience, resume=resume)
+    config = coerce_config(config, jobs=jobs, cache=cache,
+                           resilience=resilience, resume=resume)
+    return run_spec(get_spec(name), scale, seed, config=config, obs=obs)

@@ -2,17 +2,21 @@
 
 The experiment catalogue now lives in typed
 :class:`~repro.experiments.api.ExperimentSpec` entries
-(:mod:`repro.experiments.specs`) executed by the parallel sweep engine
-(:mod:`repro.experiments.parallel`). This module keeps the historical
-surface alive:
+(:mod:`repro.experiments.specs`) executed by the backend-agnostic sweep
+scheduler (:mod:`repro.experiments.parallel`). This module keeps the
+historical surface alive:
 
 * :data:`EXPERIMENTS` — **deprecated**: the old bare-callable registry,
   kept as thin shims; iterate :data:`repro.experiments.specs.SPECS` (or
   call :func:`repro.experiments.parallel.run_named`) instead to get
   typed results with metrics, digests and caching.
 * :func:`run_experiment` / :func:`run_all` — same signatures and return
-  types as before, now with ``jobs`` (process-parallel sweep points)
-  and ``cache_dir`` (content-addressed result cache) pass-throughs.
+  types as before. Execution options are one
+  :class:`~repro.experiments.config.RunConfig` (``config=RunConfig(
+  backend=..., jobs=..., cache=..., resilience=..., resume=...)``); the
+  pre-RunConfig keyword sprawl (``jobs=``, ``cache_dir=``, ``cache=``,
+  ``resilience=``, ``resume=``) still works for one release and emits a
+  single :class:`DeprecationWarning` per call.
 """
 
 from __future__ import annotations
@@ -22,9 +26,8 @@ from typing import Callable, Optional
 
 import repro.obs as obs_mod
 from repro.experiments.api import RunResult
-from repro.experiments.cache import ResultCache
+from repro.experiments.config import _UNSET, RunConfig, coerce_config
 from repro.experiments.parallel import run_spec
-from repro.experiments.resilience import ResilienceConfig
 from repro.experiments.specs import SPECS, get_spec
 from repro.metrics.series import FigureSeries
 
@@ -74,19 +77,16 @@ def resolve_experiments(name: str) -> list[str]:
         f"{candidates} or a whole-figure prefix like 'fig5')")
 
 
-def _make_cache(cache_dir: Optional[str]) -> Optional[ResultCache]:
-    return ResultCache(cache_dir) if cache_dir else None
-
-
 def run_results(
     name: str, scale: float = 0.1, seed: int = 42,
     obs: Optional["obs_mod.Observability"] = None,
     *,
-    jobs: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
-    cache: Optional[ResultCache] = None,
-    resilience: Optional[ResilienceConfig] = None,
-    resume: bool = False,
+    config: Optional[RunConfig] = None,
+    jobs=_UNSET,
+    cache_dir=_UNSET,
+    cache=_UNSET,
+    resilience=_UNSET,
+    resume=_UNSET,
 ) -> dict[str, RunResult]:
     """Run ``name`` (exact key or whole-figure prefix) and return the
     full typed :class:`RunResult` per experiment key.
@@ -94,15 +94,17 @@ def run_results(
     This is the surface the CLI uses: unlike :func:`run_experiment` it
     preserves task accounting, digests and — in keep-going mode — the
     structured :class:`~repro.experiments.resilience.TaskFailure` list
-    for partial results.
+    for partial results. All experiment keys share ``config``'s cache
+    and backend (a remote fabric's workers serve every key).
     """
+    config = coerce_config(config, jobs=jobs, cache_dir=cache_dir,
+                           cache=cache, resilience=resilience,
+                           resume=resume)
     keys = resolve_experiments(name)
-    cache = cache if cache is not None else _make_cache(cache_dir)
     results: dict[str, RunResult] = {}
     for key in keys:
-        results[key] = run_spec(get_spec(key), scale, seed, jobs=jobs,
-                                cache=cache, obs=obs,
-                                resilience=resilience, resume=resume)
+        results[key] = run_spec(get_spec(key), scale, seed,
+                                config=config, obs=obs)
     if obs is not None:
         obs.finish()
     return results
@@ -112,11 +114,12 @@ def run_experiment(
     name: str, scale: float = 0.1, seed: int = 42,
     obs: Optional["obs_mod.Observability"] = None,
     *,
-    jobs: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
-    cache: Optional[ResultCache] = None,
-    resilience: Optional[ResilienceConfig] = None,
-    resume: bool = False,
+    config: Optional[RunConfig] = None,
+    jobs=_UNSET,
+    cache_dir=_UNSET,
+    cache=_UNSET,
+    resilience=_UNSET,
+    resume=_UNSET,
 ) -> list[FigureSeries]:
     """Regenerate one figure's data; ``name`` is a key of ``EXPERIMENTS``
     or a whole-figure prefix (``"fig8"`` runs fig8a + fig8b).
@@ -125,16 +128,16 @@ def run_experiment(
     context: every task's events are folded into it in deterministic
     task order, its metrics registry collects the merged per-task
     snapshots, and any attached invariant checkers validate the event
-    stream. With ``jobs > 1``, sweep tasks execute on a process pool;
-    the result (series, digests, metrics) is byte-identical to
-    ``jobs=1``. ``cache_dir`` enables the content-addressed result
-    cache so warm re-runs skip completed sweep points. ``resilience``
-    and ``resume`` pass through to
-    :func:`repro.experiments.parallel.run_spec`.
+    stream. ``config`` picks the execution backend, parallelism, cache
+    and resilience policy; the result (series, digests, metrics) is
+    byte-identical whichever backend runs it. The legacy ``jobs=`` /
+    ``cache_dir=`` / ``cache=`` / ``resilience=`` / ``resume=`` keywords
+    still work and emit one :class:`DeprecationWarning`.
     """
-    results = run_results(name, scale, seed, obs, jobs=jobs,
-                          cache_dir=cache_dir, cache=cache,
-                          resilience=resilience, resume=resume)
+    config = coerce_config(config, jobs=jobs, cache_dir=cache_dir,
+                           cache=cache, resilience=resilience,
+                           resume=resume)
+    results = run_results(name, scale, seed, obs, config=config)
     series: list[FigureSeries] = []
     for result in results.values():
         series.extend(result.series)
@@ -144,16 +147,18 @@ def run_experiment(
 def run_all(
     scale: float = 0.1, seed: int = 42,
     *,
-    jobs: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
-    cache: Optional[ResultCache] = None,
-    resilience: Optional[ResilienceConfig] = None,
-    resume: bool = False,
+    config: Optional[RunConfig] = None,
+    jobs=_UNSET,
+    cache_dir=_UNSET,
+    cache=_UNSET,
+    resilience=_UNSET,
+    resume=_UNSET,
 ) -> dict[str, list[FigureSeries]]:
     """Regenerate every figure's data (optionally parallel and cached)."""
-    cache = cache if cache is not None else _make_cache(cache_dir)
+    config = coerce_config(config, jobs=jobs, cache_dir=cache_dir,
+                           cache=cache, resilience=resilience,
+                           resume=resume)
     return {
-        name: run_experiment(name, scale, seed, jobs=jobs, cache=cache,
-                             resilience=resilience, resume=resume)
+        name: run_experiment(name, scale, seed, config=config)
         for name in EXPERIMENTS
     }

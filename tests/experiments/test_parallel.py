@@ -11,6 +11,7 @@ import pytest
 
 from repro.experiments.api import ExperimentSpec, RunResult, SweepTask
 from repro.experiments.cache import ResultCache, material_digest
+from repro.experiments.config import RunConfig
 from repro.experiments.parallel import run_named, run_spec
 from repro.experiments.runner import EXPERIMENTS
 from repro.experiments.specs import SPECS, TASK_RUNNERS, get_spec
@@ -73,8 +74,8 @@ class TestParallelEqualsSerial:
         def get(name):
             if name not in cache:
                 cache[name] = (
-                    run_named(name, SCALE, SEED, jobs=1),
-                    run_named(name, SCALE, SEED, jobs=4),
+                    run_named(name, SCALE, SEED),
+                    run_named(name, SCALE, SEED, config=RunConfig(jobs=4)),
                 )
             return cache[name]
 
@@ -103,7 +104,8 @@ class TestTracedParallelEqualsSerial:
         def traced(jobs):
             obs = Observability(trace=TraceRecorder(),
                                 checkers=default_checkers())
-            result = run_named("fig8a", SCALE, 5, jobs=jobs, obs=obs)
+            result = run_named("fig8a", SCALE, 5,
+                               config=RunConfig(jobs=jobs), obs=obs)
             obs.finish()
             return result, obs
 
@@ -146,10 +148,12 @@ class TestRunResult:
 class TestResultCache:
     def test_warm_run_skips_execution_and_reproduces(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        cold = run_named("fig5a", SCALE, SEED, cache=cache)
+        cold = run_named("fig5a", SCALE, SEED,
+                         config=RunConfig(cache=cache))
         assert cold.tasks_cached == 0
         assert cache.misses == cold.tasks_total
-        warm = run_named("fig5a", SCALE, SEED, cache=cache)
+        warm = run_named("fig5a", SCALE, SEED,
+                         config=RunConfig(cache=cache))
         assert warm.tasks_cached == warm.tasks_total == cold.tasks_total
         assert series_dicts(warm) == series_dicts(cold)
         assert warm.digest == cold.digest
@@ -157,11 +161,14 @@ class TestResultCache:
 
     def test_key_includes_scale_seed_and_params(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        run_named("fig5a", SCALE, SEED, cache=cache)
+        run_named("fig5a", SCALE, SEED,
+                         config=RunConfig(cache=cache))
         n = len(cache)
-        other_seed = run_named("fig5a", SCALE, SEED + 1, cache=cache)
+        other_seed = run_named("fig5a", SCALE, SEED + 1,
+                               config=RunConfig(cache=cache))
         assert other_seed.tasks_cached == 0
-        other_scale = run_named("fig5a", 0.03, SEED, cache=cache)
+        other_scale = run_named("fig5a", 0.03, SEED,
+                                config=RunConfig(cache=cache))
         assert other_scale.tasks_cached == 0
         assert len(cache) == 3 * n
 
@@ -181,17 +188,22 @@ class TestResultCache:
 
     def test_parallel_run_shares_cache(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        cold = run_named("fig8a", SCALE, SEED, jobs=4, cache=cache)
-        warm = run_named("fig8a", SCALE, SEED, jobs=4, cache=cache)
+        cold = run_named("fig8a", SCALE, SEED,
+                         config=RunConfig(jobs=4, cache=cache))
+        warm = run_named("fig8a", SCALE, SEED,
+                         config=RunConfig(jobs=4, cache=cache))
         assert warm.tasks_cached == warm.tasks_total
         assert warm.digest == cold.digest
 
     def test_traced_run_bypasses_cache_reads(self, tmp_path):
         cache = ResultCache(str(tmp_path))
-        run_named("fig5a", SCALE, SEED, cache=cache)
+        run_named("fig5a", SCALE, SEED,
+                         config=RunConfig(cache=cache))
         obs = Observability(trace=TraceRecorder())
-        traced = run_named("fig5a", SCALE, SEED, cache=cache, obs=obs)
+        traced = run_named("fig5a", SCALE, SEED,
+                           config=RunConfig(cache=cache), obs=obs)
         # A cache hit could not replay events into obs — so no hits.
         assert traced.tasks_cached == 0
-        untraced = run_named("fig5a", SCALE, SEED, cache=cache)
+        untraced = run_named("fig5a", SCALE, SEED,
+                         config=RunConfig(cache=cache))
         assert untraced.tasks_cached == untraced.tasks_total

@@ -1,0 +1,254 @@
+"""Remote execution backend: loopback fabric integration tests.
+
+Everything here runs against real sockets on 127.0.0.1 — launched
+worker subprocesses, dialed worker daemons, and hand-rolled misbehaving
+peers — asserting the fabric's two core promises: byte-identical
+results versus inline execution, and recovery (requeue through the
+``worker-crash`` taxonomy) when workers die or go silent mid-sweep.
+"""
+
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.experiments import RunConfig, run_named
+from repro.experiments.api import ExperimentSpec, SweepTask
+from repro.experiments.backends.protocol import (
+    ProtocolError,
+    format_addr,
+    parse_addr,
+    recv_frame,
+    send_frame,
+)
+from repro.experiments.backends.remote import (
+    RemoteBackend,
+    RemoteFabricError,
+)
+from repro.experiments.parallel import run_spec
+from repro.experiments.resilience import ResilienceConfig
+from repro.experiments.specs import merge_series_fragments
+from repro.obs import Observability, TraceRecorder
+
+SCALE = 0.02
+SEED = 11
+
+#: Launcher template whose workers heartbeat fast enough for the tight
+#: liveness timeouts the drop tests use.
+FAST_LAUNCHER = (f"{sys.executable} -m repro.cli worker "
+                 "--connect {addr} --heartbeat-interval 0.2")
+
+
+def probe_spec(params):
+    return ExperimentSpec(
+        name="remote-probe", description="d", tags=("t",),
+        decompose=lambda scale, seed: [
+            SweepTask("remote-probe", (p["index"],), "flaky_probe", p)
+            for p in params],
+        merge=lambda scale, seed, ordered: merge_series_fragments(ordered))
+
+
+def clean_params(n=6):
+    return [{"index": i, "value": float(i * 3)} for i in range(n)]
+
+
+class TestProtocol:
+    def test_parse_and_format_addr(self):
+        assert parse_addr("10.0.0.7:781") == ("10.0.0.7", 781)
+        assert parse_addr(":7800") == ("127.0.0.1", 7800)
+        assert format_addr(("10.0.0.7", 781)) == "10.0.0.7:781"
+        with pytest.raises(ValueError):
+            parse_addr("no-port")
+
+    def test_frame_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, "task", {"tid": 3, "params": [1.5, "x"]})
+            send_frame(a, "heartbeat")
+            assert recv_frame(b) == ("task", {"tid": 3,
+                                              "params": [1.5, "x"]})
+            assert recv_frame(b) == ("heartbeat", {})
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"BOGUS-PROTOCOL-GARBAGE-LONG-ENOUGH")
+            with pytest.raises(ProtocolError, match="bad frame magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_at_frame_boundary(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestLoopbackParity:
+    def test_launched_workers_match_inline(self):
+        inline = run_named("fig5a", SCALE, SEED)
+        with RunConfig(backend="remote", launch=2) as cfg:
+            remote = run_named("fig5a", SCALE, SEED, config=cfg)
+        assert remote.digest == inline.digest
+        assert ([s.to_dict() for s in remote.series]
+                == [s.to_dict() for s in inline.series])
+        assert remote.metrics == inline.metrics
+
+    def test_traced_run_matches_inline_trace(self):
+        def traced(cfg=None):
+            obs = Observability(trace=TraceRecorder())
+            run_named("fig5a", SCALE, SEED, obs=obs, config=cfg)
+            return obs.digest()
+
+        with RunConfig(backend="remote", launch=2) as cfg:
+            remote_digest = traced(cfg)
+        assert remote_digest == traced()
+
+    def test_fabric_shared_across_runs_and_cache_is_artifact_store(
+            self, tmp_path):
+        with RunConfig(backend="remote", launch=2,
+                       cache_dir=str(tmp_path / "cache")) as cfg:
+            first = run_named("fig5a", SCALE, SEED, config=cfg)
+            backend = cfg.make_backend()
+            second = run_named("fig5b", SCALE, SEED, config=cfg)
+            assert cfg.make_backend() is backend  # one fabric, both runs
+        assert first.tasks_cached == 0
+        # Worker-computed blobs landed in the scheduler-side cache: a
+        # plain inline re-run is served entirely from it.
+        warm = run_named(
+            "fig5a", SCALE, SEED,
+            config=RunConfig(cache_dir=str(tmp_path / "cache")))
+        assert warm.tasks_cached == warm.tasks_total
+        assert warm.digest == first.digest
+        assert second.tasks_total > 0
+
+
+class TestDialOutWorkers:
+    def test_listening_daemons_serve_a_sweep(self):
+        procs, addrs = [], []
+        try:
+            for i in range(2):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "worker",
+                     "--listen", "127.0.0.1:0", "--once", "--id", f"w{i}"],
+                    stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                    text=True)
+                procs.append(proc)
+                line = proc.stdout.readline()
+                match = re.search(r"listening on (\S+)", line)
+                assert match, f"no address line from worker: {line!r}"
+                addrs.append(match.group(1))
+            inline = run_named("fig5a", SCALE, SEED)
+            with RunConfig(backend="remote",
+                           workers=",".join(addrs)) as cfg:
+                remote = run_named("fig5a", SCALE, SEED, config=cfg)
+            assert remote.digest == inline.digest
+            # --once: the bye at close() retires both daemons.
+            for proc in procs:
+                assert proc.wait(timeout=30) == 0
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.stdout.close()
+
+
+class TestWorkerLoss:
+    def test_killed_worker_requeues_onto_survivor(self, tmp_path):
+        # Task 2 SIGKILLs its worker daemon on the first attempt; the
+        # sweep must finish on the surviving worker with a digest
+        # byte-identical to a run that never crashed.
+        params = clean_params()
+        params[2].update({"mode": "crash", "fail_attempts": 1,
+                          "state_dir": str(tmp_path / "state")})
+        clean = run_spec(probe_spec(clean_params()), SCALE, SEED)
+        with RunConfig(
+                backend="remote", launch=2, launcher=FAST_LAUNCHER,
+                resilience=ResilienceConfig(max_retries=2,
+                                            backoff_base_s=0.01)) as cfg:
+            result = run_spec(probe_spec(params), SCALE, SEED, config=cfg)
+        assert result.ok
+        assert result.tasks_retried >= 1
+        assert result.digest == clean.digest
+
+    def test_silent_worker_is_dropped_on_heartbeat_timeout(self):
+        # A connected-but-frozen peer: says hello, accepts tasks, then
+        # never sends another frame. The scheduler must declare it dead
+        # after heartbeat_timeout_s and requeue its task elsewhere.
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        addr = format_addr(srv.getsockname()[:2])
+
+        def silent_peer():
+            sock, _ = srv.accept()
+            with sock:
+                send_frame(sock, "hello", {"worker": "frozen", "pid": 0,
+                                           "version": __version__,
+                                           "slots": 1})
+                try:
+                    while recv_frame(sock):
+                        pass  # swallow tasks, never reply
+                except (EOFError, ProtocolError, OSError):
+                    pass
+
+        thread = threading.Thread(target=silent_peer, daemon=True)
+        thread.start()
+        backend = RemoteBackend(
+            workers=(addr,), launch=1, launcher=FAST_LAUNCHER,
+            heartbeat_timeout_s=1.0, poll_interval_s=0.02)
+        clean = run_spec(probe_spec(clean_params()), SCALE, SEED)
+        t0 = time.monotonic()
+        with RunConfig(
+                backend=backend,
+                resilience=ResilienceConfig(max_retries=2,
+                                            backoff_base_s=0.01)) as cfg:
+            result = run_spec(probe_spec(clean_params()), SCALE, SEED,
+                              config=cfg)
+        srv.close()
+        assert result.ok
+        assert result.tasks_retried >= 1
+        assert result.digest == clean.digest
+        assert time.monotonic() - t0 < 30
+
+    def test_version_skewed_worker_is_rejected(self):
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        addr = format_addr(srv.getsockname()[:2])
+
+        def stale_peer():
+            sock, _ = srv.accept()
+            with sock:
+                send_frame(sock, "hello", {"worker": "stale", "pid": 0,
+                                           "version": "0.0.0-ancient",
+                                           "slots": 1})
+                try:
+                    recv_frame(sock)
+                except (EOFError, ProtocolError, OSError):
+                    pass
+
+        thread = threading.Thread(target=stale_peer, daemon=True)
+        thread.start()
+        cfg = RunConfig(backend="remote", workers=(addr,))
+        try:
+            with pytest.raises(RemoteFabricError,
+                               match="runs version '0.0.0-ancient'"):
+                run_spec(probe_spec(clean_params()), SCALE, SEED,
+                         config=cfg)
+        finally:
+            cfg.close()
+            srv.close()

@@ -18,7 +18,8 @@ import pytest
 from repro.cli import main
 from repro.experiments.api import ExperimentSpec, RunResult, SweepTask
 from repro.experiments.cache import ResultCache, material_digest
-from repro.experiments.parallel import run_spec
+from repro.experiments.config import RunConfig
+from repro.experiments.parallel import run_spec as _run_spec
 from repro.experiments.resilience import (
     ResilienceConfig,
     RunJournal,
@@ -32,6 +33,15 @@ from repro.experiments.specs import SPECS, merge_series_fragments
 
 SCALE = 0.02
 SEED = 11
+
+
+def run_spec(spec, scale, seed, *, jobs=1, resilience=None, cache=None,
+             resume=False, obs=None):
+    """This module's historical kwargs, expressed as a RunConfig (the
+    deprecation shim itself is covered in test_run_config.py)."""
+    return _run_spec(spec, scale, seed, obs=obs,
+                     config=RunConfig(jobs=jobs, resilience=resilience,
+                                      cache=cache, resume=resume))
 
 
 def fast_cfg(**kw):

@@ -21,6 +21,7 @@ import pytest
 from repro.cli import main
 from repro.experiments.api import ExperimentSpec, SweepTask
 from repro.experiments.cache import ResultCache, material_digest
+from repro.experiments.config import RunConfig
 from repro.experiments.parallel import run_spec
 from repro.experiments.resilience import (
     ResilienceConfig,
@@ -40,7 +41,7 @@ HARNESS = textwrap.dedent("""
     import json, sys
     sys.path.insert(0, {src!r})
     from repro.experiments.api import ExperimentSpec, SweepTask
-    from repro.experiments.cache import ResultCache
+    from repro.experiments.config import RunConfig
     from repro.experiments.parallel import run_spec
     from repro.experiments.resilience import ResilienceConfig
     from repro.experiments.specs import merge_series_fragments
@@ -57,10 +58,11 @@ HARNESS = textwrap.dedent("""
             for p in params],
         merge=lambda scale, seed, ordered: merge_series_fragments(ordered))
     try:
-        run_spec(spec, {scale!r}, {seed!r}, jobs=2,
-                 cache=ResultCache({cache!r}),
-                 resilience=ResilienceConfig(max_retries=0,
-                                             backoff_base_s=0.001))
+        run_spec(spec, {scale!r}, {seed!r},
+                 config=RunConfig(jobs=2, cache_dir={cache!r},
+                                  resilience=ResilienceConfig(
+                                      max_retries=0,
+                                      backoff_base_s=0.001)))
     except KeyboardInterrupt:
         sys.exit(130)
     sys.exit(0)
@@ -117,7 +119,7 @@ def _version():
 
 def uninterrupted_digest(tmp_path, n=4):
     clean = [{"index": i, "value": float(i * 10)} for i in range(n)]
-    return run_spec(spec_from_params(clean), SCALE, SEED, jobs=1).digest
+    return run_spec(spec_from_params(clean), SCALE, SEED).digest
 
 
 class TestParentKillResume:
@@ -136,10 +138,12 @@ class TestParentKillResume:
         # Resume in-process: only the remaining tasks execute (the
         # killer's attempt counter has moved past its failure window).
         resumed = run_spec(
-            spec_from_params(params), SCALE, SEED, jobs=2,
-            cache=ResultCache(str(tmp_path / "cache")), resume=True,
-            resilience=ResilienceConfig(max_retries=0,
-                                        backoff_base_s=0.001))
+            spec_from_params(params), SCALE, SEED,
+            config=RunConfig(
+                jobs=2, cache=ResultCache(str(tmp_path / "cache")),
+                resume=True,
+                resilience=ResilienceConfig(max_retries=0,
+                                            backoff_base_s=0.001)))
         assert resumed.ok
         assert resumed.tasks_resumed == len(done)
         assert resumed.digest == uninterrupted_digest(tmp_path)
@@ -155,10 +159,12 @@ class TestParentKillResume:
             proc.wait(timeout=120)
             assert proc.returncode == -signal.SIGKILL
         resumed = run_spec(
-            spec_from_params(params), SCALE, SEED, jobs=2,
-            cache=ResultCache(str(tmp_path / "cache")), resume=True,
-            resilience=ResilienceConfig(max_retries=0,
-                                        backoff_base_s=0.001))
+            spec_from_params(params), SCALE, SEED,
+            config=RunConfig(
+                jobs=2, cache=ResultCache(str(tmp_path / "cache")),
+                resume=True,
+                resilience=ResilienceConfig(max_retries=0,
+                                            backoff_base_s=0.001)))
         assert resumed.ok
         assert resumed.digest == uninterrupted_digest(tmp_path)
 
@@ -175,10 +181,12 @@ class TestSigintDrain:
         jpath, run_id = journal_file(tmp_path)
         assert os.path.exists(jpath)
         resumed = run_spec(
-            spec_from_params(params), SCALE, SEED, jobs=2,
-            cache=ResultCache(str(tmp_path / "cache")), resume=True,
-            resilience=ResilienceConfig(max_retries=0,
-                                        backoff_base_s=0.001))
+            spec_from_params(params), SCALE, SEED,
+            config=RunConfig(
+                jobs=2, cache=ResultCache(str(tmp_path / "cache")),
+                resume=True,
+                resilience=ResilienceConfig(max_retries=0,
+                                            backoff_base_s=0.001)))
         assert resumed.ok
         assert resumed.digest == uninterrupted_digest(tmp_path)
 

@@ -9,6 +9,7 @@ order, drop accounting or clock behaviour changes the digest".
 
 import pytest
 
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import resolve_experiments, run_experiment
 from repro.obs import (
     Observability,
@@ -84,7 +85,7 @@ class TestParallelExecutionDeterminism:
             obs = Observability(trace=TraceRecorder(),
                                 checkers=default_checkers())
             series = run_experiment("fig8", scale=SCALE, seed=5, obs=obs,
-                                    jobs=jobs)
+                                    config=RunConfig(jobs=jobs))
             return series, obs
 
         return run(1), run(4)
@@ -114,8 +115,8 @@ class TestChaosParallelDeterminism:
         def run(jobs):
             obs = Observability(trace=TraceRecorder(),
                                 checkers=default_checkers())
-            series = run_experiment("chaos", scale=SCALE, seed=5, obs=obs,
-                                    jobs=jobs)
+            series = run_experiment("chaos", scale=SCALE, seed=5,
+                                    obs=obs, config=RunConfig(jobs=jobs))
             return series, obs
 
         return run(1), run(4)
