@@ -41,6 +41,10 @@ Examples
                                       # inline
     cloudfog fig5a --backend remote --launch 4
                                       # or spawn 4 loopback workers
+    cloudfog all --backend remote --launch 2 --slots 4 --compress auto
+                                      # throughput fabric: 2 daemons x
+                                      # 4 task slots each, pipelined
+                                      # dispatch, compressed frames
 """
 
 from __future__ import annotations
@@ -50,7 +54,11 @@ import json
 import sys
 import time
 
-from repro.experiments.config import BACKEND_NAMES, RunConfig
+from repro.experiments.config import (
+    BACKEND_NAMES,
+    COMPRESS_NAMES,
+    RunConfig,
+)
 from repro.experiments.runner import (
     EXPERIMENTS,
     run_experiment,
@@ -113,6 +121,25 @@ def add_execution_args(parser: argparse.ArgumentParser) -> None:
         help="worker launch command template for --launch; {addr} (or "
              "{host}/{port}) is substituted — SSH works: "
              "'ssh gpu1 cloudfog worker --connect {addr}'")
+    group.add_argument(
+        "--slots", type=int, default=1, metavar="N",
+        help="task slots per launched worker daemon: each daemon runs "
+             "N slot processes and streams results as slots free up "
+             "(default 1; daemons started by hand set their own "
+             "cloudfog worker --slots)")
+    group.add_argument(
+        "--prefetch", type=int, default=2, metavar="N",
+        help="pipelining depth: tasks queued on each worker beyond "
+             "its executing slots, hiding the dispatch round-trip "
+             "(default 2; 0 = stop-and-wait per slot — prefer that "
+             "under tight --task-timeout budgets)")
+    group.add_argument(
+        "--compress", nargs="?", const="auto", default="auto",
+        choices=COMPRESS_NAMES, metavar="CODEC",
+        help="wire-frame compression for the remote backend: auto "
+             "negotiates the best codec both peers support (zstd "
+             "where installed, zlib otherwise), none keeps legacy "
+             "uncompressed CFW1 frames (default auto)")
     group.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="content-addressed result cache directory; re-runs skip "
@@ -457,7 +484,10 @@ def scale_main(argv: list[str] | None = None) -> int:
 
 
 def build_worker_parser() -> argparse.ArgumentParser:
-    from repro.experiments.backends.worker import DEFAULT_HEARTBEAT_S
+    from repro.experiments.backends.worker import (
+        DEFAULT_HEARTBEAT_S,
+        DEFAULT_SCHEDULER_TIMEOUT_S,
+    )
 
     parser = argparse.ArgumentParser(
         prog="cloudfog worker",
@@ -488,6 +518,29 @@ def build_worker_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds between liveness heartbeats (default "
              f"{DEFAULT_HEARTBEAT_S:g})")
+    parser.add_argument(
+        "--slots", type=int, default=1, metavar="N",
+        help="execute up to N tasks concurrently in an in-worker "
+             "process pool, streaming results as slots free up "
+             "(default 1 = sequential in the main thread)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="local payload cache keyed by task digest: repeat tasks "
+             "replay from disk, and tasks whose blob the scheduler "
+             "already stores are confirmed by hash instead of "
+             "re-shipped")
+    parser.add_argument(
+        "--compress", nargs="?", const="auto", default="auto",
+        choices=COMPRESS_NAMES, metavar="CODEC",
+        help="wire-frame compression policy negotiated with the "
+             "scheduler (default auto; none = legacy CFW1 frames)")
+    parser.add_argument(
+        "--scheduler-timeout", type=float,
+        default=DEFAULT_SCHEDULER_TIMEOUT_S, metavar="S",
+        help="declare a vanished scheduler dead after S seconds of "
+             "wire silence and (with --listen) return to accepting "
+             "(default "
+             f"{DEFAULT_SCHEDULER_TIMEOUT_S:g}; 0 disables)")
     return parser
 
 
@@ -500,7 +553,10 @@ def worker_main(argv: list[str] | None = None) -> int:
     try:
         return run_worker(connect=args.connect, listen=args.listen,
                           worker_id=args.id, once=args.once,
-                          heartbeat_s=args.heartbeat_interval)
+                          heartbeat_s=args.heartbeat_interval,
+                          slots=args.slots, cache_dir=args.cache_dir,
+                          compress=args.compress,
+                          scheduler_timeout_s=args.scheduler_timeout)
     except ValueError as exc:
         parser.error(str(exc))
 

@@ -95,6 +95,18 @@ class SweepPlan:
     record: Callable[[int, Any], None]
     dispose: Callable[[int, int, str, str], Optional[float]]
     stats: dict
+    #: Per-task content-address digests (None entries when the run has
+    #: no cache). The remote backend ships them with task frames so
+    #: workers can key their local payload caches identically.
+    digests: Optional[list] = None
+    #: Todo indices whose blob the scheduler's store already holds but
+    #: could not serve directly (cache reads bypassed by an attached
+    #: obs context): the remote backend marks their task frames
+    #: ``have`` so workers answer with hash-only ``cached`` frames.
+    known: Optional[set] = None
+    #: Resolve task ``i``'s payload from the scheduler's store (the
+    #: ``cached``-frame redemption path); None on a miss.
+    lookup: Optional[Callable[[int], Optional[Any]]] = None
 
 
 class ExecutionBackend(abc.ABC):

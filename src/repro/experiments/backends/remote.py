@@ -12,18 +12,39 @@ The fabric has three ways to acquire workers, combinable freely:
   ephemeral loopback listener; SSH-compatible via a template like
   ``"ssh gpu1 cloudfog worker --connect {addr}"``).
 
-Scheduling is a single-threaded ``select`` loop with per-worker
-in-flight accounting (a worker holds at most its advertised ``slots``
-tasks). Liveness is two-tier: a dead worker process closes its socket
-(immediate EOF detection), and a frozen-but-connected worker is
-declared dead when no frame — results *or* heartbeats — arrives within
-``heartbeat_timeout_s``. Either way its in-flight tasks requeue through
-the ``worker-crash`` arm of the
+Scheduling is a single-threaded ``select`` loop built for throughput:
+each worker holds up to ``slots + prefetch`` tasks — its advertised
+slot count actually executing, plus a primed queue that hides the
+dispatch round-trip, so a worker never idles waiting for the
+scheduler to notice a free slot. Results stream back as slots free
+up; the scheduler merges in task order, never completion order.
+
+Wire frames are CFW2 with per-channel compression negotiated at
+hello time (zstd where both sides have it, zlib otherwise; legacy
+CFW1 peers get uncompressed CFW1 frames for one release — see
+:mod:`~repro.experiments.backends.protocol`). Task frames carry the
+task's content-address digest, and when the scheduler's store already
+holds the blob (possible only when cache reads are bypassed by an
+attached obs context) the frame says so — the worker then answers
+with a hash-only ``cached`` frame and the scheduler serves the blob
+from its own store, so warm re-runs ship hashes instead of megabytes.
+
+Liveness is two-tier and now two-directional: a dead worker process
+closes its socket (immediate EOF detection), a frozen-but-connected
+worker is declared dead when no frame — results *or* heartbeats —
+arrives within ``heartbeat_timeout_s``, and the scheduler itself
+pulses every worker (a background pump thread, so the pulse continues
+between ``execute`` calls while the fabric idles) to arm the workers'
+scheduler-silence deadlines. Dead workers' in-flight tasks requeue
+through the ``worker-crash`` arm of the
 :class:`~repro.experiments.resilience.TaskFailure` taxonomy, exactly
 like a SIGKILLed pool worker. Per-task deadlines (the resilience
 config's ``timeout_s``) map onto ``timeout``: the offending worker's
 connection is dropped (a remote task cannot be preempted) and its
-innocent in-flight tasks requeue without attempt penalty.
+innocent in-flight tasks requeue without attempt penalty. Note the
+deadline clock starts at dispatch, so with ``prefetch > 0`` it also
+covers time spent queued on the worker — set ``prefetch=0`` when
+running under tight per-task timeouts.
 
 The content-addressed result cache is the fabric's shared artifact
 store: workers push result blobs back inside their ``result`` frames
@@ -36,7 +57,8 @@ Determinism: workers compute with the same ``execute_task`` as inline
 and pool execution, and the scheduler merges payloads in task order,
 never completion or dispatch order — so a remote run's series, trace
 and metrics digests are byte-identical to an inline run of the same
-spec, regardless of worker count, join order, crashes or requeues.
+spec, regardless of worker count, slot count, pipelining depth,
+compression codec, join order, crashes or requeues.
 
 The fabric persists across :meth:`execute` calls (one worker set
 serves a whole ``run_all``); :meth:`close` says bye to dialed daemons
@@ -51,6 +73,7 @@ import shlex
 import socket
 import subprocess
 import sys
+import threading
 import time
 from collections import deque
 from typing import Optional
@@ -59,12 +82,20 @@ import repro
 from repro import __version__
 from repro.experiments.backends.base import ExecutionBackend, SweepPlan
 from repro.experiments.backends.protocol import (
+    WIRE_REVISION,
+    Channel,
     ProtocolError,
+    available_codecs,
     format_addr,
+    negotiate_codec,
     parse_addr,
     recv_frame,
     send_frame,
 )
+
+#: Default pipelining depth: tasks queued on a worker beyond its
+#: executing slots, hiding one dispatch round-trip per slot.
+DEFAULT_PREFETCH = 2
 
 
 class RemoteFabricError(RuntimeError):
@@ -75,16 +106,22 @@ class RemoteFabricError(RuntimeError):
 class _Worker:
     """Scheduler-side state for one connected worker."""
 
-    __slots__ = ("sock", "id", "pid", "slots", "inflight", "last_seen")
+    __slots__ = ("channel", "id", "pid", "slots", "wire", "inflight",
+                 "last_seen")
 
-    def __init__(self, sock: socket.socket, hello: dict):
-        self.sock = sock
+    def __init__(self, channel: Channel, hello: dict):
+        self.channel = channel
         self.id = str(hello.get("worker", "?"))
         self.pid = hello.get("pid")
         self.slots = max(1, int(hello.get("slots", 1)))
+        self.wire = int(hello.get("wire", 1))
         #: tid -> (task index, attempt, deadline or None)
         self.inflight: dict[int, tuple[int, int, Optional[float]]] = {}
         self.last_seen = time.monotonic()
+
+    @property
+    def sock(self) -> socket.socket:
+        return self.channel.sock
 
 
 class RemoteBackend(ExecutionBackend):
@@ -94,18 +131,30 @@ class RemoteBackend(ExecutionBackend):
 
     def __init__(self, workers=(), listen: Optional[str] = None,
                  launch: int = 0, launcher: Optional[str] = None,
+                 slots: int = 1,
+                 prefetch: int = DEFAULT_PREFETCH,
+                 compress: Optional[str] = "auto",
                  connect_timeout_s: float = 30.0,
                  heartbeat_timeout_s: float = 15.0,
+                 heartbeat_interval_s: float = 2.0,
                  poll_interval_s: float = 0.05):
         if not (workers or listen or launch):
             raise ValueError("remote backend needs workers=, listen= "
                              "or launch=")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if prefetch < 0:
+            raise ValueError(f"prefetch must be >= 0, got {prefetch}")
         self.addresses = tuple(workers)
         self.listen = listen
         self.launch = int(launch)
         self.launcher = launcher
+        self.slots = int(slots)
+        self.prefetch = int(prefetch)
+        self.compress = compress
         self.connect_timeout_s = connect_timeout_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.poll_interval_s = poll_interval_s
 
         self._listener: Optional[socket.socket] = None
@@ -113,6 +162,12 @@ class RemoteBackend(ExecutionBackend):
         self._procs: list[subprocess.Popen] = []
         self._tid = 0
         self._started = False
+        self._pump_stop: Optional[threading.Event] = None
+        self._pump_thread: Optional[threading.Thread] = None
+        #: Wire bytes of connections already torn down; live channels
+        #: are added on top by :meth:`wire_stats`.
+        self._bytes_sent_closed = 0
+        self._bytes_recv_closed = 0
 
     # ------------------------------------------------------------------
     # Fabric lifecycle
@@ -125,13 +180,25 @@ class RemoteBackend(ExecutionBackend):
             return None
         return format_addr(self._listener.getsockname()[:2])
 
+    def wire_stats(self) -> dict[str, int]:
+        """Total fabric wire bytes, both directions, including closed
+        connections — what the fabric benchmarks difference."""
+        sent = self._bytes_sent_closed
+        recv = self._bytes_recv_closed
+        for worker in list(self._workers.values()):
+            sent += worker.channel.bytes_out
+            recv += worker.channel.bytes_in
+        return {"sent": sent, "recv": recv}
+
     def start(self) -> None:
         """Stand up the fabric: bind, launch, dial, await hellos."""
         if self._started:
             return
         if self.listen or self.launch:
             host, port = parse_addr(self.listen or "127.0.0.1:0")
-            srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            srv = socket.socket(
+                socket.AF_INET6 if ":" in host else socket.AF_INET,
+                socket.SOCK_STREAM)
             srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             srv.bind((host, port))
             srv.listen(64)
@@ -158,19 +225,43 @@ class RemoteBackend(ExecutionBackend):
                                            min(0.2, remaining))
             if readable and self._accept() is not None:
                 joined += 1
+        self._start_pump()
         self._started = True
+
+    def _start_pump(self) -> None:
+        """Pulse every CFW2 worker so their scheduler-silence deadlines
+        never trip while the fabric is healthy — including the idle
+        stretches between ``execute`` calls, when no select loop runs."""
+        if self._pump_thread is not None:
+            return
+        stop = threading.Event()
+
+        def pump() -> None:
+            while not stop.wait(self.heartbeat_interval_s):
+                for worker in list(self._workers.values()):
+                    if worker.wire >= WIRE_REVISION:
+                        try:
+                            worker.channel.send("heartbeat")
+                        except OSError:
+                            pass  # the select loop will see the EOF
+
+        thread = threading.Thread(target=pump, daemon=True,
+                                  name="fabric-heartbeat")
+        thread.start()
+        self._pump_stop, self._pump_thread = stop, thread
 
     def close(self) -> None:
         """Dismiss the fabric: bye to daemons, reap launched workers."""
+        if self._pump_stop is not None:
+            self._pump_stop.set()
+            self._pump_thread.join(timeout=2.0)
+            self._pump_stop = self._pump_thread = None
         for worker in list(self._workers.values()):
             try:
-                send_frame(worker.sock, "bye")
+                worker.channel.send("bye")
             except OSError:
                 pass
-            try:
-                worker.sock.close()
-            except OSError:
-                pass
+            self._retire_channel(worker.channel)
         self._workers.clear()
         if self._listener is not None:
             try:
@@ -190,6 +281,13 @@ class RemoteBackend(ExecutionBackend):
         self._procs.clear()
         self._started = False
 
+    def _retire_channel(self, channel: Channel) -> None:
+        """Close a connection, folding its byte meters into the
+        fabric totals."""
+        self._bytes_sent_closed += channel.bytes_out
+        self._bytes_recv_closed += channel.bytes_in
+        channel.close()
+
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:
             self.close()
@@ -204,6 +302,8 @@ class RemoteBackend(ExecutionBackend):
         else:
             cmd = [sys.executable, "-m", "repro.cli", "worker",
                    "--connect", addr]
+            if self.slots > 1:
+                cmd += ["--slots", str(self.slots)]
         env = os.environ.copy()
         src = os.path.dirname(os.path.dirname(
             os.path.abspath(repro.__file__)))
@@ -235,7 +335,7 @@ class RemoteBackend(ExecutionBackend):
             sock, peer = self._listener.accept()
         except OSError:
             return None
-        return self._register(sock, where=f"{peer[0]}:{peer[1]}")
+        return self._register(sock, where=format_addr(peer[:2]))
 
     def _register(self, sock: socket.socket,
                   where: str) -> Optional[_Worker]:
@@ -264,7 +364,28 @@ class RemoteBackend(ExecutionBackend):
                 f"{hello.get('version')!r}, scheduler runs {__version__!r}")
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        worker = _Worker(sock, hello)
+        worker = _Worker(Channel(sock), hello)
+        if worker.wire >= WIRE_REVISION:
+            # CFW2 acknowledgement: settle the channel codec (both
+            # directions) and promise heartbeats, arming the worker's
+            # scheduler-silence deadline. Legacy CFW1 peers get no ack
+            # and keep an uncompressed, unpulsed channel for one
+            # release.
+            codec = negotiate_codec(self.compress,
+                                    hello.get("codecs", ()))
+            try:
+                worker.channel.send("hello", {
+                    "wire": WIRE_REVISION,
+                    "codec": codec,
+                    "codecs": available_codecs(),
+                    "heartbeat_s": self.heartbeat_interval_s,
+                })
+            except OSError as exc:
+                self._retire_channel(worker.channel)
+                raise RemoteFabricError(
+                    f"worker at {where} dropped the connection during "
+                    f"negotiation: {exc}") from exc
+            worker.channel.codec = codec
         self._workers[sock] = worker
         return worker
 
@@ -277,6 +398,11 @@ class RemoteBackend(ExecutionBackend):
         cfg = plan.resilience
         pending = deque((i, 1) for i in plan.todo)
         backoff: list[tuple[float, int, int]] = []
+        #: Indices whose "scheduler has the blob" promise failed to
+        #: redeem (entry torn/evicted between probe and cached frame):
+        #: redispatched with the full-result path.
+        distrust: set[int] = set()
+        wire0 = self.wire_stats()
 
         plan.stats.setdefault("workers_joined", 0)
         plan.stats["workers_joined"] += len(self._workers)
@@ -290,10 +416,7 @@ class RemoteBackend(ExecutionBackend):
                         skip_tids=(), penalty: bool = True) -> None:
             """Forget a dead/expired worker and requeue its tasks."""
             self._workers.pop(worker.sock, None)
-            try:
-                worker.sock.close()
-            except OSError:
-                pass
+            self._retire_channel(worker.channel)
             plan.stats["workers_lost"] = (
                 plan.stats.get("workers_lost", 0) + 1)
             for tid, (i, attempt, _dl) in worker.inflight.items():
@@ -308,19 +431,28 @@ class RemoteBackend(ExecutionBackend):
 
         def assign() -> None:
             for worker in list(self._workers.values()):
-                while pending and len(worker.inflight) < worker.slots:
+                # Fill the executing slots plus the prefetch queue, so
+                # a freed slot always finds its next task already on
+                # the worker instead of one round-trip away.
+                capacity = worker.slots + self.prefetch
+                while pending and len(worker.inflight) < capacity:
                     i, attempt = pending.popleft()
                     self._tid += 1
                     tid = self._tid
                     deadline = (time.monotonic() + cfg.timeout_s
                                 if cfg.timeout_s else None)
                     worker.inflight[tid] = (i, attempt, deadline)
+                    digest = (plan.digests[i]
+                              if plan.digests is not None else None)
+                    have = (plan.known is not None and i in plan.known
+                            and i not in distrust)
                     try:
-                        send_frame(worker.sock, "task", {
+                        worker.channel.send("task", {
                             "tid": tid, "index": i,
                             "task": plan.tasks[i],
                             "scale": plan.scale, "seed": plan.seed,
                             "capture": plan.capture,
+                            "digest": digest, "have": have,
                         })
                     except OSError:
                         drop_worker(worker, "dropped the connection "
@@ -332,14 +464,14 @@ class RemoteBackend(ExecutionBackend):
 
         def handle_frame(worker: _Worker) -> None:
             try:
-                kind, payload = recv_frame(worker.sock)
+                kind, payload = worker.channel.recv()
             except (EOFError, ProtocolError, OSError):
                 drop_worker(worker, "died (connection lost)")
                 return
             worker.last_seen = time.monotonic()
             if kind == "heartbeat":
                 return
-            if kind not in ("result", "error"):
+            if kind not in ("result", "error", "cached"):
                 return
             entry = worker.inflight.pop(payload.get("tid"), None)
             if entry is None:  # reply for a task we already requeued
@@ -347,6 +479,20 @@ class RemoteBackend(ExecutionBackend):
             i, attempt, _deadline = entry
             if kind == "result":
                 plan.record(i, payload["payload"])
+            elif kind == "cached":
+                # Hash-only confirmation: redeem the blob from our own
+                # store. A broken promise (entry vanished since the
+                # probe) redispatches the task penalty-free with the
+                # full-result path forced.
+                redeemed = (plan.lookup(i)
+                            if plan.lookup is not None else None)
+                if redeemed is not None:
+                    plan.stats["cached_frames"] = (
+                        plan.stats.get("cached_frames", 0) + 1)
+                    plan.record(i, redeemed)
+                else:
+                    distrust.add(i)
+                    pending.append((i, attempt))
             else:
                 requeue_or_fail(i, attempt, payload.get("kind",
                                                         "exception"),
@@ -443,3 +589,11 @@ class RemoteBackend(ExecutionBackend):
             # (and journalled) through plan.record.
             self.close()
             raise
+        finally:
+            wire1 = self.wire_stats()
+            plan.stats["wire_bytes_sent"] = (
+                plan.stats.get("wire_bytes_sent", 0)
+                + wire1["sent"] - wire0["sent"])
+            plan.stats["wire_bytes_recv"] = (
+                plan.stats.get("wire_bytes_recv", 0)
+                + wire1["recv"] - wire0["recv"])

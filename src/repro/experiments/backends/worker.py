@@ -12,13 +12,43 @@ Two connection modes, mirroring the scheduler's
   connection at a time; with ``once=True`` exit after the first
   scheduler disconnects (CI smoke daemons clean themselves up).
 
-A worker executes tasks strictly sequentially in its main thread with
+**Slots.** With ``slots=1`` (the default) tasks run strictly
+sequentially in the worker's main thread. With ``slots=N`` the worker
+runs an in-process pool of N slot processes
+(:class:`~repro.experiments.resilience.PoolManager`), advertises the
+count in its hello so the scheduler keeps N tasks in flight, and
+streams results back the moment each slot frees up. Either way every
+task runs through
 :func:`~repro.experiments.backends.base.execute_task` — the same
 function the inline and pool backends call, which is half of the
 determinism argument (the other half is the scheduler's task-order
-merge). A background thread sends heartbeat frames so the scheduler can
-tell "busy with a long task" from "frozen": the send path is guarded by
-a lock shared with result frames.
+merge). A slot process that dies (SIGKILL, OOM) is reported per
+in-flight task as a ``worker-crash`` error frame and the pool is
+rebuilt — the daemon itself survives, unlike the single-slot case
+where a crashing task takes the whole worker (and its connection)
+with it.
+
+**Local result cache.** With ``cache_dir=`` the worker keeps a
+:class:`~repro.experiments.cache.BlobCache` of full task payloads
+keyed by the scheduler-computed task digest: a warm worker replays a
+repeat task from disk instead of recomputing it, and when the task
+frame says the scheduler's own store already holds the blob
+(``have``), the worker answers with a hash-only ``cached`` frame —
+warm re-runs ship hashes, not megabytes. Trace-capturing tasks bypass
+the cache both ways (a cached payload cannot carry another run's
+trace events).
+
+**Liveness, both directions.** A background thread heartbeats
+worker → scheduler so the scheduler can tell "busy with a long task"
+from "frozen". Since CFW2 the scheduler pulses back: its hello
+acknowledgement promises a heartbeat interval, which arms the
+worker's *scheduler-silence deadline* — if no frame at all arrives
+within ``scheduler_timeout_s`` the worker declares the scheduler dead,
+abandons the connection and (under ``--listen``) returns to accepting
+instead of hanging on a socket whose peer vanished without a FIN. The
+deadline is only armed by the acknowledgement, so a legacy CFW1
+scheduler that goes quiet while waiting for results is never
+false-dropped.
 
 A task that raises is reported as an ``error`` frame (the scheduler
 maps it onto the ``exception`` failure kind and retries elsewhere); a
@@ -30,21 +60,28 @@ backend's taxonomy.
 from __future__ import annotations
 
 import os
+import select
+import signal
 import socket
 import sys
 import threading
 import time
+from concurrent.futures import BrokenExecutor
 from typing import Optional
 
 from repro import __version__
 from repro.experiments.backends.base import execute_task
 from repro.experiments.backends.protocol import (
+    WIRE_REVISION,
+    Channel,
     ProtocolError,
+    available_codecs,
     format_addr,
+    negotiate_codec,
     parse_addr,
-    recv_frame,
-    send_frame,
 )
+from repro.experiments.cache import BlobCache
+from repro.experiments.resilience import PoolManager
 
 #: Seconds between heartbeat frames while serving a scheduler.
 DEFAULT_HEARTBEAT_S = 2.0
@@ -52,71 +89,181 @@ DEFAULT_HEARTBEAT_S = 2.0
 #: How long a dialing worker keeps retrying an unreachable scheduler.
 DEFAULT_DIAL_RETRY_S = 15.0
 
+#: Scheduler-silence deadline: armed once the scheduler's hello
+#: acknowledgement promises heartbeats, tripped when no frame of any
+#: kind arrives for this long.
+DEFAULT_SCHEDULER_TIMEOUT_S = 30.0
+
 
 def _log(message: str) -> None:
     print(f"[worker] {message}", file=sys.stderr, flush=True)
 
 
 def serve_connection(sock: socket.socket, worker_id: str,
-                     heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> str:
+                     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                     slots: int = 1,
+                     cache: Optional[BlobCache] = None,
+                     compress: Optional[str] = "auto",
+                     scheduler_timeout_s: float =
+                     DEFAULT_SCHEDULER_TIMEOUT_S) -> str:
     """Serve one scheduler over ``sock`` until it disconnects.
 
-    Returns a short reason string (``"bye"`` / ``"eof"``).
+    Returns a short reason string (``"bye"`` / ``"eof"`` /
+    ``"silent"``).
     """
-    send_lock = threading.Lock()
+    slots = max(1, int(slots))
+    channel = Channel(sock)
     stop = threading.Event()
 
-    with send_lock:
-        send_frame(sock, "hello", {
-            "worker": worker_id,
-            "pid": os.getpid(),
-            "version": __version__,
-            "slots": 1,
-        })
+    channel.send("hello", {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "version": __version__,
+        "slots": slots,
+        "wire": WIRE_REVISION,
+        "codecs": (available_codecs()
+                   if compress not in (None, "none") else ()),
+    })
 
     def beat() -> None:
         while not stop.wait(heartbeat_s):
             try:
-                with send_lock:
-                    send_frame(sock, "heartbeat")
+                channel.send("heartbeat")
             except OSError:
                 return
 
     thread = threading.Thread(target=beat, daemon=True,
                               name=f"heartbeat-{worker_id}")
     thread.start()
+
+    pool = PoolManager(slots) if slots > 1 else None
+    inflight: dict = {}  # future -> task frame payload
+    acked = False  # scheduler sent a CFW2 hello-ack (it will pulse)
+    last_frame = time.monotonic()
+
+    def reply(payload: dict) -> Optional[tuple[str, dict]]:
+        """Resolve a task frame without executing, if possible."""
+        head = {"tid": payload["tid"], "index": payload["index"]}
+        digest = payload.get("digest")
+        if not digest or payload.get("capture"):
+            return None
+        if payload.get("have"):
+            # The scheduler's store already holds this digest's blob:
+            # confirm by hash, ship nothing.
+            return "cached", {**head, "digest": digest}
+        if cache is not None:
+            hit = cache.get(digest)
+            if hit is not None:
+                return "result", {**head, "payload": hit}
+        return None
+
+    def finish(payload: dict, result) -> tuple[str, dict]:
+        """Package a computed payload, warming the local cache."""
+        digest = payload.get("digest")
+        if digest and cache is not None and not payload.get("capture"):
+            cache.put(digest, result)
+        return "result", {"tid": payload["tid"],
+                          "index": payload["index"], "payload": result}
+
+    def pump_pool() -> None:
+        """Stream completed slot results back; absorb slot crashes."""
+        for fut in [f for f in inflight if f.done()]:
+            payload = inflight.pop(fut, None)
+            if payload is None:
+                continue
+            head = {"tid": payload["tid"], "index": payload["index"]}
+            try:
+                result = fut.result()
+            except BrokenExecutor:
+                # One dead slot process breaks the whole pool: report
+                # every in-flight task as a worker-crash (the scheduler
+                # requeues them through the usual taxonomy) and stand
+                # up a fresh pool. The daemon itself survives.
+                doomed = [payload] + list(inflight.values())
+                inflight.clear()
+                pool.rebuild()
+                for p in doomed:
+                    channel.send("error", {
+                        "tid": p["tid"], "index": p["index"],
+                        "kind": "worker-crash",
+                        "message": f"slot process died on worker "
+                                   f"{worker_id} (pool rebuilt)"})
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                channel.send("error", {
+                    **head, "kind": "exception",
+                    "message": f"{type(exc).__name__}: {exc}"})
+            else:
+                channel.send(*finish(payload, result))
+
     try:
         while True:
+            if pool is not None and inflight:
+                pump_pool()
+            timeout = 0.05 if inflight else (0.25 if acked else 1.0)
             try:
-                kind, payload = recv_frame(sock)
-            except (EOFError, ProtocolError, OSError):
-                return "eof"
-            if kind == "bye":
-                return "bye"
-            if kind != "task":
-                continue
-            reply_kind, reply = _run_task(payload)
-            try:
-                with send_lock:
-                    send_frame(sock, reply_kind, reply)
+                readable, _, _ = select.select([sock], [], [], timeout)
             except OSError:
                 return "eof"
+            if readable:
+                try:
+                    kind, payload = channel.recv()
+                except (EOFError, ProtocolError, OSError):
+                    return "eof"
+                last_frame = time.monotonic()
+                if kind == "bye":
+                    return "bye"
+                if kind == "hello":
+                    # CFW2 acknowledgement: adopt the negotiated
+                    # transmit codec and arm the silence deadline.
+                    channel.codec = negotiate_codec(
+                        compress, (payload.get("codec"),))
+                    acked = True
+                    continue
+                if kind != "task":
+                    continue  # heartbeat / future frame kinds
+                resolved = reply(payload)
+                if resolved is not None:
+                    channel.send(*resolved)
+                elif pool is not None:
+                    inflight[pool.submit(
+                        execute_task, payload["task"], payload["scale"],
+                        payload["seed"], payload.get("capture", False),
+                    )] = payload
+                else:
+                    channel.send(*_run_task(payload, finish))
+            if (acked and scheduler_timeout_s
+                    and time.monotonic() - last_frame
+                    > scheduler_timeout_s):
+                return "silent"
+    except OSError:
+        return "eof"
     finally:
         stop.set()
+        if pool is not None:
+            pool.shutdown(terminate=True)
 
 
-def _run_task(payload: dict) -> tuple[str, dict]:
+def _run_task(payload: dict, finish) -> tuple[str, dict]:
     """Execute one task frame; package the result or the failure."""
-    head = {"tid": payload["tid"], "index": payload["index"]}
     try:
         result = execute_task(payload["task"], payload["scale"],
-                              payload["seed"], payload["capture"])
+                              payload["seed"],
+                              payload.get("capture", False))
     except (KeyboardInterrupt, SystemExit):
         raise
     except BaseException as exc:
-        return "error", {**head, "kind": "exception",
+        return "error", {"tid": payload["tid"],
+                         "index": payload["index"],
+                         "kind": "exception",
                          "message": f"{type(exc).__name__}: {exc}"}
-    return "result", {**head, "payload": result}
+    return finish(payload, result)
+
+
+def _exit_on_sigterm(signum, frame):  # pragma: no cover - signal path
+    raise SystemExit(128 + signum)
 
 
 def _dial(addr: tuple[str, int], retry_s: float) -> socket.socket:
@@ -135,15 +282,44 @@ def run_worker(connect: Optional[str] = None,
                worker_id: Optional[str] = None,
                once: bool = False,
                heartbeat_s: float = DEFAULT_HEARTBEAT_S,
-               dial_retry_s: float = DEFAULT_DIAL_RETRY_S) -> int:
+               dial_retry_s: float = DEFAULT_DIAL_RETRY_S,
+               slots: int = 1,
+               cache_dir: Optional[str] = None,
+               compress: Optional[str] = "auto",
+               scheduler_timeout_s: float =
+               DEFAULT_SCHEDULER_TIMEOUT_S) -> int:
     """Run a worker daemon; returns a process exit code.
 
     Exactly one of ``connect`` (dial the scheduler) and ``listen``
-    (await schedulers) must be given.
+    (await schedulers) must be given. ``slots`` sizes the in-worker
+    slot pool (1 = sequential in the main thread); ``cache_dir``
+    enables the local payload cache; ``compress`` is the wire codec
+    policy (``auto`` / ``zlib`` / ``zstd`` / ``none``);
+    ``scheduler_timeout_s`` is the scheduler-silence deadline (0
+    disables it).
     """
     if bool(connect) == bool(listen):
         raise ValueError("pass exactly one of connect= or listen=")
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    cache = BlobCache(cache_dir) if cache_dir else None
+
+    # Die *through* the cleanup path on SIGTERM: the scheduler tears
+    # launched workers down with terminate(), and a multi-slot daemon
+    # killed mid-serve would otherwise orphan its slot processes —
+    # which keep inherited stdout/stderr pipes open long after the
+    # sweep, wedging any pipeline the scheduler's process ran under.
+    try:
+        signal.signal(signal.SIGTERM, _exit_on_sigterm)
+    except (ValueError, OSError):  # non-main thread or odd platform
+        pass
+
+    def serve(sock: socket.socket) -> str:
+        sock.settimeout(None)
+        return serve_connection(
+            sock, worker_id, heartbeat_s, slots=slots, cache=cache,
+            compress=compress, scheduler_timeout_s=scheduler_timeout_s)
 
     if connect:
         addr = parse_addr(connect)
@@ -154,14 +330,15 @@ def run_worker(connect: Optional[str] = None,
                  f"{format_addr(addr)}: {exc}")
             return 1
         with sock:
-            sock.settimeout(None)
-            reason = serve_connection(sock, worker_id, heartbeat_s)
+            reason = serve(sock)
         _log(f"{worker_id}: scheduler at {format_addr(addr)} "
              f"disconnected ({reason})")
         return 0
 
     host, port = parse_addr(listen)
-    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv = socket.socket(
+        socket.AF_INET6 if ":" in host else socket.AF_INET,
+        socket.SOCK_STREAM)
     srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     srv.bind((host, port))
     srv.listen(1)
@@ -173,10 +350,9 @@ def run_worker(connect: Optional[str] = None,
         while True:
             sock, peer = srv.accept()
             with sock:
-                sock.settimeout(None)
-                reason = serve_connection(sock, worker_id, heartbeat_s)
-            _log(f"{worker_id}: scheduler {peer[0]}:{peer[1]} "
-                 f"disconnected ({reason})")
+                reason = serve(sock)
+            _log(f"{worker_id}: scheduler "
+                 f"{format_addr(peer[:2])} disconnected ({reason})")
             if once:
                 return 0
     except KeyboardInterrupt:  # pragma: no cover - interactive stop

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import tempfile
 from typing import Any, Optional
 
@@ -66,6 +67,12 @@ class ResultCache:
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def contains(self, digest: str) -> bool:
+        """Whether an entry for ``digest`` exists, without reading it
+        (and without touching the hit/miss accounting) — the remote
+        scheduler's cheap "I already have this blob" probe."""
+        return os.path.exists(self._path(digest))
 
     def get(self, digest: str) -> Optional[dict[str, Any]]:
         """The stored entry for ``digest``, or ``None`` on a miss.
@@ -115,3 +122,81 @@ class ResultCache:
     def __repr__(self) -> str:
         return (f"<ResultCache {self.root!r} hits={self.hits} "
                 f"misses={self.misses} errors={self.errors}>")
+
+
+class BlobCache:
+    """Content-addressed pickle store for whole task payloads.
+
+    The worker daemon's local result cache. Where :class:`ResultCache`
+    stores the scheduler's canonical JSON entries (data + metrics, no
+    trace events — they would dwarf everything else), a worker caches
+    the *entire* ``execute_task`` payload tuple as a pickle, so a warm
+    worker can replay a task byte-for-byte — same floats, same tuple
+    shapes — without recomputing it. Keys are the same task digests
+    the scheduler computes, so the two caches agree about identity
+    without ever comparing contents.
+
+    Same durability contract as :class:`ResultCache`: atomic writes
+    via temp file + ``os.replace``, a torn or unreadable entry is a
+    miss, ``*.tmp`` droppings are swept on open.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.root, exist_ok=True)
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def get(self, digest: str) -> Optional[Any]:
+        try:
+            with open(self._path(digest), "rb") as fp:
+                payload = pickle.load(fp)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: Any) -> None:
+        """Atomically store ``payload``; best-effort (an unwritable
+        cache never fails the task that produced the payload)."""
+        path = self._path(digest)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as fp:
+                pickle.dump(payload, fp,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        n = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            n += sum(1 for f in files if f.endswith(".pkl"))
+        return n
+
+    def __repr__(self) -> str:
+        return (f"<BlobCache {self.root!r} hits={self.hits} "
+                f"misses={self.misses}>")

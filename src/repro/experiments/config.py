@@ -56,6 +56,12 @@ _UNSET = _Unset()
 #: pool otherwise).
 BACKEND_NAMES = ("auto", "inline", "pool", "remote")
 
+#: Accepted ``compress=`` policies for the remote fabric's wire
+#: frames. ``"auto"`` negotiates the best codec both peers support
+#: (zstd where installed, zlib otherwise); ``"none"`` keeps legacy
+#: uncompressed CFW1 frames.
+COMPRESS_NAMES = ("auto", "none", "zlib", "zstd")
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a worker-count request.
@@ -114,6 +120,18 @@ class RunConfig:
     #: ``repro.cli worker --connect {addr}``. SSH-compatible, e.g.
     #: ``"ssh gpu1 cloudfog worker --connect {addr}"``.
     launcher: Optional[str] = None
+    #: Remote backend: task slots per *launched* worker daemon (the
+    #: default launcher passes ``--slots N``; daemons started by hand
+    #: set their own). Each slot is one in-worker task process.
+    slots: int = 1
+    #: Remote backend: tasks queued on a worker beyond its executing
+    #: slots, hiding the dispatch round-trip. 0 disables pipelining
+    #: (dispatch stop-and-wait per slot) — useful under tight per-task
+    #: timeouts, whose clock starts at dispatch.
+    prefetch: int = 2
+    #: Remote backend: wire-frame compression policy
+    #: (see :data:`COMPRESS_NAMES`; ``None`` is accepted for "none").
+    compress: Optional[str] = "auto"
 
     def __post_init__(self):
         resolve_jobs(self.jobs)  # the single jobs-validation point
@@ -132,6 +150,17 @@ class RunConfig:
                 f"ExecutionBackend instance)")
         if self.launch < 0:
             raise ValueError(f"launch must be >= 0, got {self.launch}")
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if self.prefetch < 0:
+            raise ValueError(
+                f"prefetch must be >= 0, got {self.prefetch}")
+        if self.compress is None:
+            object.__setattr__(self, "compress", "none")
+        if self.compress not in COMPRESS_NAMES:
+            raise ValueError(
+                f"unknown compress policy {self.compress!r} "
+                f"(choose from {', '.join(COMPRESS_NAMES)})")
         if self.cache is None and self.cache_dir:
             object.__setattr__(self, "cache", ResultCache(self.cache_dir))
         if self.resume and self.cache is None:
@@ -193,7 +222,9 @@ class RunConfig:
         if name == "pool":
             return PoolBackend(jobs=self.jobs)
         return RemoteBackend(workers=self.workers, listen=self.listen,
-                             launch=self.launch, launcher=self.launcher)
+                             launch=self.launch, launcher=self.launcher,
+                             slots=self.slots, prefetch=self.prefetch,
+                             compress=self.compress)
 
     def close(self) -> None:
         """Tear down the memoized backend (bye frames to dial-out
@@ -242,6 +273,10 @@ class RunConfig:
             listen=getattr(args, "listen", None),
             launch=getattr(args, "launch", 0) or 0,
             launcher=getattr(args, "launcher", None),
+            slots=getattr(args, "slots", 1) or 1,
+            prefetch=(2 if getattr(args, "prefetch", None) is None
+                      else args.prefetch),
+            compress=getattr(args, "compress", "auto") or "auto",
         )
 
 

@@ -198,9 +198,30 @@ def run_spec(
             raise SweepFailure(failures)
         return None
 
+    # Remote-fabric cache shipping: when cache *reads* are bypassed by
+    # an attached obs context but no trace events are needed, the store
+    # may still hold a task's blob — the remote backend then marks the
+    # task frame ``have`` and the worker confirms by hash instead of
+    # shipping the payload back. ``lookup`` redeems those hashes.
+    known: Optional[set] = None
+    lookup = None
+    if cache is not None:
+        if not read_cache and not capture:
+            known = {i for i in todo
+                     if digests[i] is not None
+                     and cache.contains(digests[i])}
+
+        def lookup(i: int):
+            entry = cache.get(digests[i])
+            if entry is None:
+                return None
+            return (entry["data"], entry.get("metrics", {}), (),
+                    entry.get("elapsed_s", 0.0))
+
     plan = SweepPlan(tasks=tasks, todo=todo, scale=scale, seed=seed,
                      capture=capture, resilience=cfg, record=record,
-                     dispose=dispose, stats=stats)
+                     dispose=dispose, stats=stats, digests=digests,
+                     known=known, lookup=lookup)
     try:
         backend.execute(plan)
     except BaseException:

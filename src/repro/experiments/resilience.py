@@ -329,6 +329,11 @@ def flaky_probe(scale: float, seed: int, p: dict) -> dict:
         After surviving the failure window, run a real registered
         runner — lets tests assert trace/metrics determinism under
         retry against an honest sweep.
+    ``sleep_s`` / ``bulk_points``
+        Shape the successful task for throughput/wire benches:
+        ``sleep_s`` holds a slot busy, ``bulk_points`` appends that
+        many pseudo-random series points (a pure function of ``seed``
+        and ``index``) so the result payload has realistic bulk.
 
     The success payload is a pure function of the params (never of the
     attempt number), which is what makes recovery byte-identical.
@@ -368,4 +373,10 @@ def flaky_probe(scale: float, seed: int, p: dict) -> dict:
     s = FigureSeries(label=p.get("label", "flaky"), x_label="task index",
                      y_label="value")
     s.add(index, float(p.get("value", index)))
+    # Deterministic bulk (LCG seeded by the task identity): inflates
+    # the payload without touching the attempt-independence contract.
+    word = (seed * 2654435761 + index * 40503) & 0xFFFFFFFF
+    for k in range(int(p.get("bulk_points", 0))):
+        word = (word * 1664525 + 1013904223) & 0xFFFFFFFF
+        s.add(index + k + 1, word / 2.0 ** 32)
     return {"series": [s.to_dict()]}

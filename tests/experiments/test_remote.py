@@ -7,6 +7,7 @@ results versus inline execution, and recovery (requeue through the
 ``worker-crash`` taxonomy) when workers die or go silent mid-sweep.
 """
 
+import os
 import re
 import socket
 import subprocess
@@ -19,9 +20,14 @@ import pytest
 from repro import __version__
 from repro.experiments import RunConfig, run_named
 from repro.experiments.api import ExperimentSpec, SweepTask
+from repro.experiments.backends.base import execute_task
 from repro.experiments.backends.protocol import (
+    COMPRESS_MIN_BYTES,
+    Channel,
     ProtocolError,
+    available_codecs,
     format_addr,
+    negotiate_codec,
     parse_addr,
     recv_frame,
     send_frame,
@@ -30,6 +36,7 @@ from repro.experiments.backends.remote import (
     RemoteBackend,
     RemoteFabricError,
 )
+from repro.experiments.cache import BlobCache
 from repro.experiments.parallel import run_spec
 from repro.experiments.resilience import ResilienceConfig
 from repro.experiments.specs import merge_series_fragments
@@ -64,6 +71,79 @@ class TestProtocol:
         assert format_addr(("10.0.0.7", 781)) == "10.0.0.7:781"
         with pytest.raises(ValueError):
             parse_addr("no-port")
+
+    def test_ipv6_addr_parse_and_format(self):
+        assert parse_addr("[::1]:9000") == ("::1", 9000)
+        assert parse_addr("[fe80::2]:81") == ("fe80::2", 81)
+        assert format_addr(("::1", 9000)) == "[::1]:9000"
+        # format/parse roundtrip on a bracketed literal
+        assert parse_addr(format_addr(("fe80::2", 81))) == ("fe80::2", 81)
+        with pytest.raises(ValueError, match="bracket it"):
+            parse_addr("::1:9000")  # bare IPv6 literal, ambiguous
+        with pytest.raises(ValueError, match="empty bracketed"):
+            parse_addr("[]:9000")
+
+    def test_negotiate_codec(self):
+        assert "zlib" in available_codecs()
+        assert negotiate_codec("auto", ("zlib",)) == "zlib"
+        assert negotiate_codec("auto", ()) is None  # CFW1 peer
+        assert negotiate_codec("none", ("zlib",)) is None
+        assert negotiate_codec(None, ("zlib",)) is None
+        assert negotiate_codec("zlib", ("zstd", "zlib")) == "zlib"
+        # an explicit codec the peer lacks falls back to uncompressed
+        assert negotiate_codec("zlib", ()) is None
+
+    def test_compressed_frame_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"blob": "x" * (COMPRESS_MIN_BYTES * 8)}
+            n2 = send_frame(a, "result", payload, codec="zlib")
+            n1 = send_frame(a, "result", payload)  # CFW1, uncompressed
+            assert n2 < n1  # the compressible payload actually shrank
+            assert recv_frame(b) == ("result", payload)
+            assert recv_frame(b) == ("result", payload)
+        finally:
+            a.close()
+            b.close()
+
+    def test_small_frames_ship_raw_on_compressed_channel(self):
+        a, b = socket.socketpair()
+        try:
+            # Below COMPRESS_MIN_BYTES the CFW2 frame is raw: exactly
+            # one byte (the codec id) larger than its CFW1 twin.
+            n2 = send_frame(a, "heartbeat", codec="zlib")
+            n1 = send_frame(a, "heartbeat")
+            assert n2 == n1 + 1
+            assert recv_frame(b) == ("heartbeat", {})
+            assert recv_frame(b) == ("heartbeat", {})
+        finally:
+            a.close()
+            b.close()
+
+    def test_incompressible_payload_ships_raw(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"noise": os.urandom(COMPRESS_MIN_BYTES * 4)}
+            send_frame(a, "result", payload, codec="zlib")
+            kind, got = recv_frame(b)
+            assert kind == "result"
+            assert got["noise"] == payload["noise"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_channel_meters_both_directions(self):
+        a, b = socket.socketpair()
+        tx, rx = Channel(a), Channel(b)
+        try:
+            tx.codec = "zlib"
+            sent = tx.send("task", {"data": "y" * 4096})
+            assert rx.recv() == ("task", {"data": "y" * 4096})
+            assert tx.bytes_out == sent == rx.bytes_in
+            assert sent < 4096  # compressed on the wire
+        finally:
+            tx.close()
+            rx.close()
 
     def test_frame_roundtrip(self):
         a, b = socket.socketpair()
@@ -224,6 +304,33 @@ class TestWorkerLoss:
         assert result.digest == clean.digest
         assert time.monotonic() - t0 < 30
 
+    def test_slot_crash_requeues_without_losing_daemon(self, tmp_path):
+        # Task 2 SIGKILLs its *slot process* inside a 2-slot worker.
+        # The daemon must survive (pool rebuild), report the in-flight
+        # tasks as worker-crash error frames, and the requeued retries
+        # must land a digest byte-identical to a crash-free run —
+        # without the scheduler ever counting a lost worker.
+        params = clean_params()
+        params[2].update({"mode": "crash", "fail_attempts": 1,
+                          "state_dir": str(tmp_path / "state")})
+        clean = run_spec(probe_spec(clean_params()), SCALE, SEED)
+        launcher = (f"{sys.executable} -m repro.cli worker "
+                    "--connect {addr} --slots 2 --heartbeat-interval 0.2")
+        obs = Observability()
+        with RunConfig(
+                backend="remote", launch=1, launcher=launcher,
+                resilience=ResilienceConfig(max_retries=3,
+                                            backoff_base_s=0.01)) as cfg:
+            result = run_spec(probe_spec(params), SCALE, SEED,
+                              config=cfg, obs=obs)
+        assert result.ok
+        assert result.tasks_retried >= 1
+        assert result.digest == clean.digest
+        snap = obs.metrics.snapshot()
+        assert snap["harness.worker_crashes"]["value"] >= 1
+        # the daemon itself never died — only a slot inside it
+        assert "harness.workers_lost" not in snap
+
     def test_version_skewed_worker_is_rejected(self):
         srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         srv.bind(("127.0.0.1", 0))
@@ -252,3 +359,304 @@ class TestWorkerLoss:
         finally:
             cfg.close()
             srv.close()
+
+
+def _ipv6_loopback_available() -> bool:
+    if not socket.has_ipv6:
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET6, socket.SOCK_STREAM)
+        probe.bind(("::1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+class TestThroughputFabric:
+    """CFW2: multi-slot workers, pipelining, compression, cached frames."""
+
+    def test_multislot_compressed_matches_inline(self):
+        inline = run_named("fig5a", SCALE, SEED)
+        backend = RemoteBackend(launch=2, slots=2, compress="zlib")
+        with RunConfig(backend=backend) as cfg:
+            remote = run_named("fig5a", SCALE, SEED, config=cfg)
+        assert remote.digest == inline.digest
+        assert ([s.to_dict() for s in remote.series]
+                == [s.to_dict() for s in inline.series])
+        assert remote.metrics == inline.metrics
+        stats = backend.wire_stats()
+        assert stats["sent"] > 0 and stats["recv"] > 0
+
+    def test_multislot_traced_run_matches_inline_trace(self):
+        def traced(cfg=None):
+            obs = Observability(trace=TraceRecorder())
+            run_named("fig5a", SCALE, SEED, obs=obs, config=cfg)
+            return obs.digest()
+
+        with RunConfig(backend="remote", launch=2, slots=2,
+                       compress="auto") as cfg:
+            remote_digest = traced(cfg)
+        assert remote_digest == traced()
+
+    def test_prefetch_zero_matches_inline(self):
+        inline = run_named("fig5a", SCALE, SEED)
+        with RunConfig(backend="remote", launch=2, prefetch=0,
+                       compress="auto") as cfg:
+            remote = run_named("fig5a", SCALE, SEED, config=cfg)
+        assert remote.digest == inline.digest
+        assert remote.metrics == inline.metrics
+
+    def test_mixed_wire_revision_fabric_matches_inline(self):
+        # A hand-rolled CFW1 peer (no ``wire`` in its hello, speaks
+        # only uncompressed legacy frames) serving alongside a launched
+        # CFW2 worker under a compressing scheduler. Both must receive
+        # frames they understand and the merged run must stay
+        # byte-identical to inline.
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        addr = format_addr(srv.getsockname()[:2])
+        served: list[int] = []
+
+        def legacy_peer():
+            sock, _ = srv.accept()
+            with sock:
+                send_frame(sock, "hello", {"worker": "legacy", "pid": 0,
+                                           "version": __version__})
+                try:
+                    while True:
+                        kind, payload = recv_frame(sock)
+                        if kind == "bye":
+                            return
+                        if kind != "task":
+                            continue
+                        out = execute_task(
+                            payload["task"], payload["scale"],
+                            payload["seed"],
+                            payload.get("capture", False))
+                        send_frame(sock, "result",
+                                   {"tid": payload["tid"],
+                                    "index": payload["index"],
+                                    "payload": out})
+                        served.append(payload["index"])
+                except (EOFError, ProtocolError, OSError):
+                    return
+
+        thread = threading.Thread(target=legacy_peer, daemon=True)
+        thread.start()
+        inline = run_named("fig5a", SCALE, SEED)
+        backend = RemoteBackend(workers=(addr,), launch=1,
+                                compress="auto")
+        try:
+            with RunConfig(backend=backend) as cfg:
+                remote = run_named("fig5a", SCALE, SEED, config=cfg)
+        finally:
+            srv.close()
+        assert remote.digest == inline.digest
+        assert remote.metrics == inline.metrics
+        assert served  # the CFW1 peer really carried some of the sweep
+
+    def test_warm_rerun_ships_hashes_not_blobs(self, tmp_path):
+        # Cold run fills the scheduler store; a warm re-run with a
+        # metrics-only obs context (cache reads bypassed) dispatches
+        # every task with ``have`` set, so workers answer with
+        # hash-only cached frames and the response bytes collapse.
+        backend = RemoteBackend(launch=2, slots=2, compress="zlib")
+        with RunConfig(backend=backend,
+                       cache_dir=str(tmp_path / "store")) as cfg:
+            cold = run_named("fig5a", SCALE, SEED, config=cfg)
+            w_cold = backend.wire_stats()
+            obs = Observability()
+            warm = run_named("fig5a", SCALE, SEED, config=cfg, obs=obs)
+            w_warm = backend.wire_stats()
+        assert warm.digest == cold.digest
+        assert warm.metrics == cold.metrics
+        assert warm.tasks_cached == 0  # reads were bypassed, not served
+        snap = obs.metrics.snapshot()
+        assert (snap["harness.cached_frames"]["value"]
+                == warm.tasks_total)
+        cold_recv = w_cold["recv"]
+        warm_recv = w_warm["recv"] - w_cold["recv"]
+        assert warm_recv < cold_recv * 0.6
+        assert snap["harness.wire_bytes_recv"]["value"] == warm_recv
+
+    def test_worker_local_blob_cache_replays_across_schedulers(
+            self, tmp_path):
+        # A --cache-dir worker keeps whole payload blobs keyed by the
+        # scheduler's task digests: a second scheduler with a fresh
+        # (empty) store still gets byte-identical results, served from
+        # the worker's local cache.
+        wcache = tmp_path / "worker-cache"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0", "--id", "cachy",
+             "--cache-dir", str(wcache)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on (\S+)", line)
+            assert match, f"no address line from worker: {line!r}"
+            addr = match.group(1)
+            with RunConfig(backend="remote", workers=(addr,),
+                           cache_dir=str(tmp_path / "s1")) as cfg:
+                first = run_named("fig5a", SCALE, SEED, config=cfg)
+            blobs = [f for _d, _s, files in os.walk(wcache)
+                     for f in files if f.endswith(".pkl")]
+            assert blobs  # the worker banked the payloads locally
+            with RunConfig(backend="remote", workers=(addr,),
+                           cache_dir=str(tmp_path / "s2")) as cfg:
+                second = run_named("fig5a", SCALE, SEED, config=cfg)
+            assert second.digest == first.digest
+            assert second.metrics == first.metrics
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+
+    def test_scheduler_silence_returns_worker_to_accepting(self):
+        # A fake scheduler acks the worker's CFW2 hello (arming the
+        # silence deadline) then goes mute without closing the socket.
+        # The worker must abandon the connection on its own and return
+        # to accepting, where a real scheduler then gets a full sweep.
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0", "--id", "patient",
+             "--scheduler-timeout", "1.0",
+             "--heartbeat-interval", "0.2"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on (\S+)", line)
+            assert match, f"no address line from worker: {line!r}"
+            addr = match.group(1)
+
+            fake = socket.create_connection(parse_addr(addr), timeout=10)
+            fake.settimeout(10)
+            kind, hello = recv_frame(fake)
+            assert kind == "hello" and hello["wire"] >= 2
+            send_frame(fake, "hello", {"wire": 2, "codec": None,
+                                       "codecs": (), "heartbeat_s": 0.2})
+            t0 = time.monotonic()
+            dropped = False
+            try:
+                while time.monotonic() - t0 < 10:
+                    recv_frame(fake)  # drain heartbeats until the drop
+            except (EOFError, ProtocolError, OSError):
+                dropped = True
+            fake.close()
+            assert dropped, "worker never abandoned the mute scheduler"
+            assert time.monotonic() - t0 < 8
+
+            # ...and it is accepting again: a real fabric (pulsing
+            # faster than the 1s deadline) completes a sweep.
+            inline = run_named("fig5a", SCALE, SEED)
+            backend = RemoteBackend(workers=(addr,),
+                                    heartbeat_interval_s=0.3)
+            with RunConfig(backend=backend) as cfg:
+                remote = run_named("fig5a", SCALE, SEED, config=cfg)
+            assert remote.digest == inline.digest
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+
+    def test_terminated_multislot_worker_reaps_its_slot_pool(self):
+        # SIGTERM on a multi-slot daemon (how the scheduler tears down
+        # launched workers) must take the slot processes with it —
+        # orphans would hold inherited pipes open long after the sweep.
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0", "--id", "doomed", "--slots", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on (\S+)", line)
+            assert match, f"no address line from worker: {line!r}"
+            addr = match.group(1)
+            # Hand-rolled scheduler: handshake, then park a long task
+            # on the daemon so the slot pool actually spawns children.
+            fake = socket.create_connection(parse_addr(addr), timeout=10)
+            recv_frame(fake)  # the worker's hello
+            send_frame(fake, "hello", {"wire": 2, "codec": None,
+                                       "codecs": (), "heartbeat_s": 2.0})
+            send_frame(fake, "task", {
+                "tid": 1, "index": 0,
+                "task": SweepTask("doom", (0,), "flaky_probe",
+                                  {"index": 0, "sleep_s": 30}),
+                "scale": 0.05, "seed": SEED, "capture": False,
+                "digest": None, "have": False})
+            time.sleep(1.5)  # let the pool spawn and adopt the task
+            assert subprocess.run(
+                ["pgrep", "-f", "id doomed"],
+                capture_output=True).stdout.count(b"\n") >= 2
+            proc.terminate()
+            assert proc.wait(timeout=10) != 0  # SystemExit(143) path
+            fake.close()
+            deadline = time.monotonic() + 10
+            alive = True
+            while time.monotonic() < deadline:
+                alive = subprocess.run(
+                    ["pgrep", "-f", "id doomed"],
+                    capture_output=True).returncode == 0
+                if not alive:
+                    break
+                time.sleep(0.2)
+            assert not alive, "slot processes outlived their daemon"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+
+    @pytest.mark.skipif(not _ipv6_loopback_available(),
+                        reason="no IPv6 loopback")
+    def test_ipv6_loopback_fabric(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "[::1]:0", "--once", "--id", "v6"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on (\S+)", line)
+            assert match, f"no address line from worker: {line!r}"
+            addr = match.group(1)
+            assert addr.startswith("[")  # bracketed, parse_addr-ready
+            inline = run_named("fig5a", SCALE, SEED)
+            with RunConfig(backend="remote", workers=(addr,)) as cfg:
+                remote = run_named("fig5a", SCALE, SEED, config=cfg)
+            assert remote.digest == inline.digest
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+
+
+class TestBlobCache:
+    def test_payload_roundtrip_and_accounting(self, tmp_path):
+        cache = BlobCache(str(tmp_path / "blobs"))
+        digest = "ab" * 32
+        assert cache.get(digest) is None
+        payload = ({"series": [1.0, 2.0]},
+                   {"m": {"kind": "counter", "value": 2}}, (), 0.5)
+        cache.put(digest, payload)
+        assert cache.get(digest) == payload
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = BlobCache(str(tmp_path / "blobs"))
+        digest = "cd" * 32
+        cache.put(digest, ("data", {}, (), 0.1))
+        path = cache._path(digest)
+        with open(path, "wb") as fp:
+            fp.write(b"\x80torn")
+        assert cache.get(digest) is None
+        assert cache.misses == 1
+
+    def test_tmp_droppings_swept_on_open(self, tmp_path):
+        root = tmp_path / "blobs"
+        root.mkdir()
+        (root / "orphan.tmp").write_bytes(b"dead")
+        BlobCache(str(root))
+        assert not (root / "orphan.tmp").exists()

@@ -91,6 +91,27 @@ class TestRunConfigValidation:
         assert isinstance(cfg.cache, ResultCache)
         assert cfg.cache.root == str(tmp_path / "c")
 
+    def test_throughput_knob_defaults(self):
+        cfg = RunConfig()
+        assert cfg.slots == 1
+        assert cfg.prefetch == 2
+        assert cfg.compress == "auto"
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(ValueError, match="slots must be >= 1"):
+            RunConfig(slots=0)
+
+    def test_negative_prefetch_rejected(self):
+        with pytest.raises(ValueError, match="prefetch must be >= 0"):
+            RunConfig(prefetch=-1)
+
+    def test_unknown_compress_rejected(self):
+        with pytest.raises(ValueError, match="unknown compress policy"):
+            RunConfig(compress="brotli")
+
+    def test_compress_none_literal_coerced(self):
+        assert RunConfig(compress=None).compress == "none"
+
 
 class TestBackendSelection:
     def test_auto_is_inline_for_one_worker(self):
@@ -177,6 +198,39 @@ class TestFromArgs:
     def test_resume_without_cache_still_rejected(self):
         with pytest.raises(ValueError, match="resume requires"):
             RunConfig.from_args(self._namespace(resume=True))
+
+    def test_throughput_knobs_map_through(self):
+        cfg = RunConfig.from_args(self._namespace(
+            launch=2, slots=4, prefetch=0, compress="zlib"))
+        assert cfg.slots == 4
+        assert cfg.prefetch == 0
+        assert cfg.compress == "zlib"
+
+    def test_throughput_knob_defaults_on_bare_namespace(self):
+        cfg = RunConfig.from_args(argparse.Namespace())
+        assert cfg.slots == 1
+        assert cfg.prefetch == 2
+        assert cfg.compress == "auto"
+
+    def test_cli_flags_parse_into_config(self):
+        from repro.cli import add_execution_args
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser)
+        args = parser.parse_args(
+            ["--launch", "2", "--slots", "4", "--prefetch", "1",
+             "--compress"])  # bare --compress means "auto"
+        cfg = RunConfig.from_args(args)
+        assert cfg.backend_name == "remote"
+        assert cfg.slots == 4
+        assert cfg.prefetch == 1
+        assert cfg.compress == "auto"
+
+    def test_cli_compress_explicit_codec(self):
+        from repro.cli import add_execution_args
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser)
+        args = parser.parse_args(["--compress", "none"])
+        assert RunConfig.from_args(args).compress == "none"
 
 
 class TestLegacyKeywordShim:
