@@ -22,6 +22,12 @@ Examples
                                       # injection: crash the busiest
                                       # supernode, report failover and
                                       # QoE under live invariant checks
+    cloudfog orchestrate --skew skewed --scale 0.05
+                                      # assignment strategies head to
+                                      # head: greedy vs DRAGON-style
+                                      # distributed negotiation, with
+                                      # Gini/Herfindahl/variation
+                                      # load-distribution indices
     cloudfog all --cache-dir ~/.cache/cloudfog --resume
                                       # finish an interrupted sweep:
                                       # the crash-safe journal skips
@@ -410,6 +416,132 @@ def chaos_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_orchestrate_parser() -> argparse.ArgumentParser:
+    from repro.core.assignment import STRATEGY_NAMES
+    from repro.experiments.orchestration import CHURN_MODES, SKEW_EXPONENTS
+
+    parser = argparse.ArgumentParser(
+        prog="cloudfog orchestrate",
+        description="Run the assignment strategies head to head on one "
+                    "scenario and report per-strategy QoE plus the "
+                    "load-distribution indices (Gini, Herfindahl, "
+                    "coefficient of variation) that show when the "
+                    "DRAGON-style distributed negotiation beats the "
+                    "paper's greedy placement.",
+    )
+    parser.add_argument(
+        "--strategies", default=",".join(STRATEGY_NAMES),
+        metavar="A,B,...",
+        help="comma-separated strategies to compare "
+             f"(default {','.join(STRATEGY_NAMES)})")
+    parser.add_argument(
+        "--skew", default="skewed", choices=sorted(SKEW_EXPONENTS),
+        help="population load skew scenario (default skewed)")
+    parser.add_argument(
+        "--churn", default="none", choices=CHURN_MODES,
+        help="supernode churn: none, or the crash-recover fault preset "
+             "(default none)")
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="population scale factor in (0, 1] (default 0.05)")
+    parser.add_argument(
+        "--seed", type=int, default=42, help="master RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=12.0, metavar="S",
+        help="session horizon in seconds (default 12)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the per-strategy report as JSON to PATH "
+             "('-' = stdout)")
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the live invariant checkers")
+    add_execution_args(parser)
+    return parser
+
+
+def orchestrate_main(argv: list[str] | None = None) -> int:
+    """``cloudfog orchestrate``: strategy comparison under telemetry."""
+    import repro.obs as obs_mod
+    from repro.obs import Observability, TraceRecorder, default_checkers
+    from repro.core.assignment import STRATEGY_NAMES
+    from repro.experiments.orchestration import (
+        OrchestrationConfig,
+        run_orchestration,
+    )
+
+    parser = build_orchestrate_parser()
+    args = parser.parse_args(argv)
+    # One comparison run rather than a sweep; shared execution flags are
+    # accepted and validated so every subcommand speaks the same language.
+    _config_from_args(parser, args).close()
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    for s in strategies:
+        if s not in STRATEGY_NAMES:
+            parser.error(f"unknown strategy {s!r}; "
+                         f"choose from {STRATEGY_NAMES}")
+    cfg = OrchestrationConfig(duration_s=args.duration)
+
+    t0 = time.time()
+    reports: dict[str, dict] = {}
+    digests: dict[str, str] = {}
+    for strategy in strategies:
+        obs = Observability(
+            trace=TraceRecorder(),
+            checkers=[] if args.no_check else default_checkers(),
+        )
+        with obs_mod.use(obs):
+            reports[strategy] = run_orchestration(
+                args.scale, args.seed, strategy=strategy,
+                skew=args.skew, churn=args.churn, config=cfg)
+        digests[strategy] = obs.digest()
+    elapsed = time.time() - t0
+
+    if args.json:
+        payload = {
+            "scenario": {"skew": args.skew, "churn": args.churn,
+                         "scale": args.scale, "seed": args.seed,
+                         "duration_s": args.duration},
+            "strategies": reports,
+            "digests": digests,
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+            print(f"wrote orchestration report to {args.json}")
+
+    first = reports[strategies[0]]
+    print(f"scenario:    skew={args.skew} churn={args.churn} "
+          f"({first['n_players']} players)")
+    header = (f"{'strategy':<13} {'contin':>7} {'satisf':>7} {'lat ms':>7} "
+              f"{'sn %':>5} {'gini':>6} {'hhi':>6} {'cv':>6} "
+              f"{'rounds':>6} {'max':>4}")
+    print(header)
+    for strategy in strategies:
+        rep = reports[strategy]
+        li = rep["load_indices"] or {}
+        neg = li.get("negotiation") or {}
+        rounds = (f"{neg['mean_rounds']:.2f}" if neg else "-")
+        max_r = (str(neg["max_rounds_seen"]) if neg else "-")
+        print(f"{strategy:<13} {rep['continuity']:>7.4f} "
+              f"{rep['satisfied']:>7.4f} "
+              f"{rep['mean_latency_s'] * 1000:>7.1f} "
+              f"{rep['served_supernode'] * 100:>5.1f} "
+              f"{li.get('gini_users', 0.0):>6.3f} "
+              f"{li.get('herfindahl_users', 0.0):>6.3f} "
+              f"{li.get('cv_users', 0.0):>6.3f} "
+              f"{rounds:>6} {max_r:>4}")
+    for strategy in strategies:
+        print(f"digest[{strategy}]: {digests[strategy]}")
+    checks = "skipped" if args.no_check else "passed"
+    print(f"invariants:  {checks}")
+    print(f"[{elapsed:.1f}s, scale={args.scale}, seed={args.seed}]")
+    return 0
+
+
 def build_scale_parser() -> argparse.ArgumentParser:
     from repro.core.cohort import FAULT_PRESETS
     from repro.sim.engine import QUEUE_KINDS
@@ -568,6 +700,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "orchestrate":
+        return orchestrate_main(argv[1:])
     if argv and argv[0] == "scale":
         return scale_main(argv[1:])
     if argv and argv[0] == "worker":

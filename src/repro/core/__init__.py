@@ -14,8 +14,16 @@
 """
 
 from repro.core.adaptation import AdaptationParams, RateAdaptationController
-from repro.core.assignment import AssignmentParams, SupernodeAssignment, assign_players
+from repro.core.assignment import (
+    AssignmentParams,
+    AssignmentStrategy,
+    STRATEGY_NAMES,
+    SupernodeAssignment,
+    assign_players,
+    make_assignment,
+)
 from repro.core.cohort import CohortKernel, ScaleReport, ScaleSpec, run_scale
+from repro.core.orchestration import DistributedAssignment, OrchestrationParams
 from repro.core.infrastructure import (
     GamingSession,
     SessionConfig,
@@ -27,10 +35,14 @@ from repro.core.scheduling import DeadlineSenderBuffer, SchedulingParams
 __all__ = [
     "AdaptationParams",
     "AssignmentParams",
+    "AssignmentStrategy",
     "CohortKernel",
     "DeadlineSenderBuffer",
+    "DistributedAssignment",
     "GamingSession",
+    "OrchestrationParams",
     "RateAdaptationController",
+    "STRATEGY_NAMES",
     "ScaleReport",
     "ScaleSpec",
     "SchedulingParams",

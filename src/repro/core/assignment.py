@@ -12,17 +12,29 @@ capacity). When a player joins:
    records the rest as backups;
 4. if no candidate qualifies, it connects directly to the cloud (its
    nearest datacenter).
+
+Since PR 9 the protocol above is one *strategy* on a pluggable surface
+(:class:`AssignmentStrategy`): ``strategy="greedy"`` is the paper's
+one-shot placement, byte-identical to the seed behaviour, and
+``strategy="distributed"`` is the DRAGON-style negotiated placement in
+:mod:`repro.core.orchestration`. :func:`make_assignment` dispatches on
+:attr:`AssignmentParams.strategy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.network.geometry import pairwise_distances_km
 from repro.network.latency import LatencyModel
+
+#: Registered assignment strategies (DESIGN.md §13). ``greedy`` is the
+#: paper's §III-A-3 protocol; ``distributed`` the DRAGON-style
+#: negotiation in :mod:`repro.core.orchestration`.
+STRATEGY_NAMES = ("greedy", "distributed")
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,10 +59,17 @@ class AssignmentParams:
     #: paper's lowest-probed-delay rule; ``"random"`` picks any
     #: qualified candidate with capacity.
     policy: str = "nearest"
+    #: Which :data:`STRATEGY_NAMES` implementation serves this session;
+    #: resolved by :func:`make_assignment`.
+    strategy: str = "greedy"
 
     def __post_init__(self) -> None:
         if self.policy not in ("nearest", "random"):
             raise ValueError(f"unknown policy {self.policy!r}")
+        if self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {STRATEGY_NAMES}")
         if self.n_candidates < 1:
             raise ValueError("need at least one candidate")
         if not 0.0 < self.lmax_fraction <= 1.0:
@@ -76,6 +95,59 @@ class AssignmentResult:
     @property
     def uses_supernode(self) -> bool:
         return self.supernode_host_id is not None
+
+
+@runtime_checkable
+class AssignmentStrategy(Protocol):
+    """What a supernode placement strategy must provide.
+
+    The session simulation (:mod:`repro.core.infrastructure`) and the
+    failover machinery (:mod:`repro.faults`) only ever talk to this
+    surface, so new placement policies are one class + one
+    :data:`STRATEGY_NAMES` entry.
+
+    Determinism contract: every method is a pure function of the
+    construction arguments and the call history — no wall clock, no
+    unseeded randomness — so the same seed always yields the same
+    placements (and hence byte-identical trace digests).
+    """
+
+    def assign(self, player_host_id: int,
+               game_latency_req_s: float) -> AssignmentResult:
+        """Place one joining player."""
+        ...
+
+    def release(self, player_host_id: int) -> None:
+        """Free the player's slot (leave / pre-migration release)."""
+        ...
+
+    def mark_failed(self, supernode_host_id: int) -> None:
+        """Stop offering a crashed supernode to new assignments."""
+        ...
+
+    def mark_recovered(self, supernode_host_id: int) -> None:
+        """Re-list a supernode after it came back."""
+        ...
+
+    def is_listed(self, supernode_host_id: int) -> bool:
+        """Whether the strategy currently offers the supernode."""
+        ...
+
+    def available_slots(self, supernode_host_id: int) -> int:
+        """Free capacity slots of a supernode."""
+        ...
+
+    def nearest_datacenter(self, player_host_id: int) -> int:
+        """The cloud fallback target for a player."""
+        ...
+
+    def users_per_node(self) -> np.ndarray:
+        """Players currently placed on each supernode (strategy order)."""
+        ...
+
+    def utilisation_per_node(self) -> np.ndarray:
+        """Load/capacity per supernode in [0, 1] (0 for zero-capacity)."""
+        ...
 
 
 class SupernodeAssignment:
@@ -238,6 +310,39 @@ class SupernodeAssignment:
     def supernodes_in_use(self) -> int:
         """Supernodes currently serving at least one player."""
         return int(np.count_nonzero(self.load))
+
+    # -- load introspection (DESIGN.md §13 index inputs) ---------------------
+    def users_per_node(self) -> np.ndarray:
+        """Players currently placed on each supernode (table order)."""
+        return self.load.astype(float).copy()
+
+    def utilisation_per_node(self) -> np.ndarray:
+        """Load/capacity per supernode; zero-capacity nodes report 0."""
+        caps = self.capacities.astype(float)
+        out = np.zeros_like(caps)
+        np.divide(self.load.astype(float), caps, out=out, where=caps > 0)
+        return out
+
+
+def make_assignment(
+    latency: LatencyModel,
+    supernode_host_ids: np.ndarray,
+    supernode_capacities: np.ndarray,
+    datacenter_host_ids: np.ndarray,
+    params: AssignmentParams | None = None,
+    trust=None,
+) -> AssignmentStrategy:
+    """Build the assignment strategy selected by ``params.strategy``."""
+    params = params or AssignmentParams()
+    if params.strategy == "distributed":
+        from repro.core.orchestration import DistributedAssignment
+
+        return DistributedAssignment(
+            latency, supernode_host_ids, supernode_capacities,
+            datacenter_host_ids, params, trust=trust)
+    return SupernodeAssignment(
+        latency, supernode_host_ids, supernode_capacities,
+        datacenter_host_ids, params, trust=trust)
 
 
 def assign_players(

@@ -29,7 +29,12 @@ import numpy as np
 
 import repro.obs as obs_mod
 from repro.core.adaptation import AdaptationParams
-from repro.core.assignment import AssignmentParams, SupernodeAssignment
+from repro.core.assignment import (
+    AssignmentParams,
+    AssignmentStrategy,
+    SupernodeAssignment,
+    make_assignment,
+)
 from repro.core.cloud import (
     DEFAULT_COMPUTE_DELAY_S,
     UPDATE_MESSAGE_BYTES,
@@ -139,6 +144,11 @@ class SessionResult:
     edge_bytes: float
     #: Failover/injection tallies when a fault plan was armed, else None.
     fault_stats: Optional[dict] = None
+    #: Load-distribution indices over the supernode placement (Gini,
+    #: Herfindahl, coefficient of variation for users- and
+    #: utilisation-per-node, plus negotiation tallies for the
+    #: distributed strategy) when the variant deploys fog, else None.
+    load_indices: Optional[dict] = None
 
     @property
     def n_players(self) -> int:
@@ -226,7 +236,7 @@ class GamingSession:
         self._serving: dict[int, StreamingServer] = {}
         self._l_r: dict[int, float] = {}
         self._player_hosts: dict[int, int] = {}
-        self._sn_service: Optional[SupernodeAssignment] = None
+        self._sn_service: Optional[AssignmentStrategy] = None
         #: Chaos machinery — constructed only when ``config.faults`` is
         #: armed; unarmed sessions carry three ``None``s and pay nothing.
         self.chaos: Optional[SessionChaos] = None
@@ -292,13 +302,13 @@ class GamingSession:
         cfg = self.config
         lat = pop.latency
 
-        sn_service: Optional[SupernodeAssignment] = None
+        sn_service: Optional[AssignmentStrategy] = None
         if self.variant.uses_fog:
             sn_caps = np.array([
                 pop.players[self._host_to_player_idx(h)].capacity_slots
                 for h in pop.supernode_host_ids
             ], dtype=int)
-            sn_service = SupernodeAssignment(
+            sn_service = make_assignment(
                 lat, pop.supernode_host_ids, sn_caps,
                 pop.datacenter_ids, cfg.assignment)
         self._sn_service = sn_service
@@ -559,6 +569,21 @@ class GamingSession:
                 "segments_lost_to_faults": self.chaos.segments_lost_to_faults,
             }
 
+        load_indices: Optional[dict] = None
+        if self._sn_service is not None:
+            from repro.metrics.load_indices import LoadDistribution
+
+            dist = LoadDistribution.from_strategy(self._sn_service)
+            load_indices = dist.to_dict()
+            load_indices["strategy"] = self.config.assignment.strategy
+            negotiation = getattr(self._sn_service, "stats", None)
+            if callable(negotiation):
+                load_indices["negotiation"] = negotiation()
+            if self.obs is not None:
+                # Registry gauges only — never trace events, which would
+                # break the greedy strategy's seed digest equivalence.
+                dist.emit(self.obs.metrics, prefix="assignment")
+
         return SessionResult(
             variant=self.variant,
             duration_s=cfg.duration_s,
@@ -568,6 +593,7 @@ class GamingSession:
             supernode_bytes=sn_bytes,
             edge_bytes=edge_bytes,
             fault_stats=fault_stats,
+            load_indices=load_indices,
         )
 
 

@@ -1,0 +1,247 @@
+"""DRAGON-style distributed supernode orchestration (DESIGN.md §13).
+
+The paper's §III-A-3 assignment is a one-shot greedy placement computed
+by the cloud: the joining player takes the lowest-delay candidate with a
+free slot. Under regional load skew that piles players onto the few
+nearest supernodes while farther (but still qualified) nodes idle.
+
+:class:`DistributedAssignment` replaces the cloud's decision with a
+negotiation between per-supernode *agents*, in the spirit of DRAGON
+(Distributed Resource AssiGnment and OrchestratioN): agents iteratively
+exchange votes over who should host a joining player, each round
+revealing the true load of the currently leading agent, until the vote
+is stable or a configured round bound is hit. The marginal value an
+agent bids — proximity times remaining-capacity share — is a decreasing
+(submodular) function of its load, which is what gives the greedy
+vote-agreement scheme DRAGON's (1−1/e)-style approximation flavour
+while actively spreading load.
+
+Mechanics per ``assign()`` call:
+
+1. the candidate set is the nearest live supernodes (crashed or evicted
+   nodes never enter, so they can never win a round), probed and
+   filtered by ``L_max`` exactly like the greedy strategy;
+2. agents vote on a shared but *stale* gossip board of announced loads:
+   only the winner of each negotiation announces its true load, so the
+   board drifts as placements and releases happen and later
+   negotiations genuinely need rounds to re-converge;
+3. each round the leading agent's announced load is refreshed with its
+   true load; the negotiation converges when the leader's entry was
+   already truthful and it still has a free slot. Every round either
+   converges or refreshes one stale entry, so a negotiation takes at
+   most ``len(candidates) + 1`` rounds — ``max_rounds`` is a hard
+   cutoff after which the best *truthfully* eligible agent is taken;
+4. ties break deterministically by (utility, probe delay, host id), and
+   no step draws randomness: the same seed (same world, same call
+   sequence) always produces the same placement.
+
+The strategy reuses :class:`~repro.core.assignment.SupernodeAssignment`
+state and failover surface (``release``/``mark_failed``/
+``mark_recovered``), so chaos plans and the failover controller work
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.assignment import (
+    AssignmentParams,
+    AssignmentResult,
+    SupernodeAssignment,
+)
+from repro.network.latency import LatencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class OrchestrationParams:
+    """Constants of the distributed negotiation."""
+
+    #: Hard cutoff on negotiation rounds per joining player. The
+    #: natural bound is ``candidates + 1`` (each round refreshes one
+    #: stale gossip entry); the cutoff keeps adversarial configurations
+    #: strictly bounded.
+    max_rounds: int = 8
+    #: Weight of the remaining-capacity share in an agent's bid; the
+    #: complement weighs probe proximity. 0 reduces to greedy-by-delay,
+    #: 1 to pure load balancing.
+    load_weight: float = 0.5
+    #: Candidate-horizon multiplier over the greedy protocol's
+    #: ``n_candidates``: more agents hear the call, which is what lets
+    #: the negotiation spread load beyond the nearest handful.
+    candidate_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if not 0.0 <= self.load_weight <= 1.0:
+            raise ValueError("load_weight must lie in [0, 1]")
+        if self.candidate_factor < 1:
+            raise ValueError("candidate_factor must be positive")
+
+
+class DistributedAssignment(SupernodeAssignment):
+    """Negotiated placement behind the greedy strategy's interface.
+
+    Capacity accounting, release, failover marking and the candidate
+    table are inherited; only the per-player decision differs.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        supernode_host_ids: np.ndarray,
+        supernode_capacities: np.ndarray,
+        datacenter_host_ids: np.ndarray,
+        params: AssignmentParams | None = None,
+        trust=None,
+        orchestration: OrchestrationParams | None = None,
+    ):
+        super().__init__(latency, supernode_host_ids, supernode_capacities,
+                         datacenter_host_ids, params, trust=trust)
+        self.orch = orchestration or OrchestrationParams()
+        #: The gossip board: the load each agent last *announced*.
+        #: Agents vote on these (possibly stale) figures; truth is
+        #: revealed one leader per round and broadcast back to the
+        #: board. Releases and failovers make entries stale again.
+        self._announced = self.load.astype(float)
+        # Negotiation telemetry (folded into SessionResult.load_indices).
+        self.negotiations = 0
+        self.rounds_total = 0
+        self.max_rounds_seen = 0
+        self.round_limit_hits = 0
+
+    # -- negotiation ---------------------------------------------------------
+    def candidates_for(self, player_host_id: int) -> np.ndarray:
+        """The nearest live agents that hear the call (wider horizon).
+
+        Same live/trusted filtering as the greedy table, but
+        ``candidate_factor`` times as many agents participate — the
+        negotiation can only spread load over agents that hear about
+        the joining player.
+        """
+        from repro.network.geometry import pairwise_distances_km
+
+        pool = self.sn_host_ids
+        if self.trust is not None and pool.size:
+            pool = np.array([h for h in pool
+                             if self.trust.is_active(int(h))], dtype=int)
+        if self._failed and pool.size:
+            pool = np.array([h for h in pool
+                             if int(h) not in self._failed], dtype=int)
+        if pool.size == 0:
+            return np.empty(0, dtype=int)
+        dists = pairwise_distances_km(
+            self.latency.positions_km[[player_host_id]],
+            self.latency.positions_km[pool])[0]
+        k = min(self.params.n_candidates * self.orch.candidate_factor,
+                pool.size)
+        order = np.argsort(dists, kind="stable")[:k]
+        return pool[order]
+
+    def assign(
+        self,
+        player_host_id: int,
+        game_latency_req_s: float,
+    ) -> AssignmentResult:
+        """Negotiate one joining player among the candidate agents."""
+        lmax = self.params.lmax_fraction * game_latency_req_s
+        dc = self.nearest_datacenter(player_host_id)
+        candidates = self.candidates_for(player_host_id)
+        if candidates.size == 0:
+            return AssignmentResult(player_host_id, None, dc)
+
+        delays = self.latency.one_way_matrix_s(
+            np.array([player_host_id]), candidates)[0]
+        if self.params.filter_by_lmax:
+            ok = delays <= lmax
+            candidates, delays = candidates[ok], delays[ok]
+        if candidates.size == 0:
+            return AssignmentResult(player_host_id, None, dc)
+
+        idxs = np.array([self._sn_index[int(h)] for h in candidates])
+        caps = self.capacities[idxs].astype(float)
+        # Proximity value in (0, 1]: monotone decreasing in probe delay,
+        # well-defined even when the L_max filter is ablated off.
+        proximity = lmax / (lmax + np.maximum(delays, 0.0))
+        w = self.orch.load_weight
+
+        def utilities(loads: np.ndarray) -> np.ndarray:
+            free_share = np.zeros_like(caps)
+            np.divide(np.maximum(caps - loads, 0.0), caps,
+                      out=free_share, where=caps > 0)
+            return (1.0 - w) * proximity + w * free_share
+
+        def leader(loads: np.ndarray) -> Optional[int]:
+            """Index into ``candidates`` of the winning vote, or None."""
+            eligible = (caps - loads) > 0
+            if not eligible.any():
+                return None
+            util = np.where(eligible, utilities(loads), -np.inf)
+            # Deterministic tie-break: utility desc, delay asc, host asc.
+            order = np.lexsort((candidates, delays, -util))
+            return int(order[0])
+
+        announced = self._announced[idxs].copy()
+        true_load = self.load[idxs].astype(float)
+        rounds = 0
+        winner: Optional[int] = None
+        hit_limit = False
+        while True:
+            rounds += 1
+            vote = leader(announced)
+            if vote is not None and announced[vote] == true_load[vote]:
+                winner = vote  # the leading bid was truthful: agreed
+                break
+            if vote is None and np.array_equal(announced, true_load):
+                break  # truthfully full everywhere: cloud fallback
+            # Reveal: the leading agent's truth — or everyone's, when
+            # the whole board *looks* full but might not be.
+            if vote is None:
+                announced = true_load.copy()
+            else:
+                announced[vote] = true_load[vote]
+            if rounds >= self.orch.max_rounds:
+                hit_limit = True
+                winner = leader(true_load)  # forced settlement on truth
+                break
+
+        self.negotiations += 1
+        self.rounds_total += rounds
+        self.max_rounds_seen = max(self.max_rounds_seen, rounds)
+        self.round_limit_hits += int(hit_limit)
+        # Broadcast whatever this negotiation revealed. The winner's
+        # *acceptance* is announced lazily — peers only learn of the
+        # extra player by contesting the node in a later negotiation —
+        # which is what keeps later rounds meaningful.
+        self._announced[idxs] = announced
+
+        if winner is None:
+            return AssignmentResult(player_host_id, None, dc)
+
+        chosen = int(candidates[winner])
+        idx = self._sn_index[chosen]
+        self.load[idx] += 1
+        self._placements[int(player_host_id)] = idx
+
+        # Backups: remaining truth-eligible agents by final utility.
+        util = utilities(true_load)
+        order = np.lexsort((candidates, delays, -util))
+        backups = [int(candidates[i]) for i in order
+                   if i != winner and (caps[i] - true_load[i]) > 0]
+        backups = backups[:self.params.n_backups]
+        return AssignmentResult(player_host_id, chosen, dc, tuple(backups))
+
+    # -- telemetry -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Negotiation tallies for reports and the obs registry."""
+        n = max(self.negotiations, 1)
+        return {
+            "negotiations": self.negotiations,
+            "mean_rounds": self.rounds_total / n,
+            "max_rounds_seen": self.max_rounds_seen,
+            "round_limit_hits": self.round_limit_hits,
+        }

@@ -209,6 +209,27 @@ def _run_chaos_point(scale: float, seed: int, p: dict) -> dict:
             "mean_recovery_time_s": fs.get("mean_recovery_time_s")}
 
 
+def _run_orchestration_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.experiments.orchestration import (
+        OrchestrationConfig,
+        run_orchestration,
+    )
+    cfg = OrchestrationConfig(duration_s=p["duration_s"])
+    out = run_orchestration(scale, int(p["task_seed"]),
+                            strategy=p["strategy"], skew=p["skew"],
+                            churn=p["churn"], config=cfg)
+    li = out["load_indices"] or {}
+    return {
+        "continuity": out["continuity"],
+        "satisfied": out["satisfied"],
+        "gini_users": li.get("gini_users"),
+        "herfindahl_users": li.get("herfindahl_users"),
+        "cv_users": li.get("cv_users"),
+        "gini_utilisation": li.get("gini_utilisation"),
+        "negotiation": li.get("negotiation"),
+    }
+
+
 def _run_scale_point(scale: float, seed: int, p: dict) -> dict:
     from repro.core.cohort import ScaleSpec, run_scale
 
@@ -246,6 +267,7 @@ TASK_RUNNERS = {
     "gameworld_partition": _run_gameworld_partition,
     "dynamic": _run_dynamic,
     "chaos_point": _run_chaos_point,
+    "orchestration_point": _run_orchestration_point,
     "scale_point": _run_scale_point,
     # Fault-injection hook (crashes/hangs/raises on the Nth attempt):
     # referenced by the resilience test-suite and the CI smoke, kept in
@@ -523,6 +545,43 @@ def _merge_chaos(scale, seed, ordered):
     return series
 
 
+#: The orchestration grid: strategy × load-skew × churn (DESIGN.md §13).
+_ORCH_STRATEGIES = ("greedy", "distributed")
+_ORCH_SCENARIOS = (("uniform", "none"), ("uniform", "churn"),
+                   ("skewed", "none"), ("skewed", "churn"))
+_ORCH_METRICS = (("gini_users", "Gini (users/node)"),
+                 ("herfindahl_users", "Herfindahl (users/node)"),
+                 ("cv_users", "coeff. of variation (users/node)"),
+                 ("continuity", "playback continuity"))
+
+
+def _decompose_orchestration(scale, seed):
+    duration = _chaos_duration_s(scale)
+    return [
+        SweepTask("orchestration", (strategy, skew, churn),
+                  "orchestration_point",
+                  {"strategy": strategy, "skew": skew, "churn": churn,
+                   "task_seed": int(seed), "duration_s": duration})
+        for strategy in _ORCH_STRATEGIES
+        for skew, churn in _ORCH_SCENARIOS
+    ]
+
+
+def _merge_orchestration(scale, seed, ordered):
+    res = dict(ordered)
+    series = []
+    for metric, y_label in _ORCH_METRICS:
+        for strategy in _ORCH_STRATEGIES:
+            s = FigureSeries(label=strategy,
+                             x_label="scenario (0=uniform 1=uniform+churn "
+                                     "2=skewed 3=skewed+churn)",
+                             y_label=y_label)
+            for i, (skew, churn) in enumerate(_ORCH_SCENARIOS):
+                s.add(i, res[(strategy, skew, churn)][metric])
+            series.append(s)
+    return series
+
+
 #: Population points of the ``scale`` experiment at scale factor 1.0.
 _SCALE_POINTS = (20_000, 50_000, 100_000)
 _SCALE_REGIONS = 8
@@ -663,6 +722,11 @@ _register(_spec(
 _register(_spec(
     "chaos", "QoE under deterministic fault injection", ("extension", "chaos"),
     _decompose_chaos, _merge_chaos))
+_register(_spec(
+    "orchestration",
+    "assignment strategies head to head: QoE + load-distribution indices",
+    ("extension", "orchestration"),
+    _decompose_orchestration, _merge_orchestration))
 _register(_spec(
     "scale", "latency percentiles vs population (cohort kernel)",
     ("extension", "scale"),

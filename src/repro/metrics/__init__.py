@@ -17,16 +17,28 @@ from repro.metrics.coverage import (
     datacenter_coverage,
     latency_based_coverage,
 )
+from repro.metrics.load_indices import (
+    LoadDistribution,
+    coefficient_of_variation,
+    gini_index,
+    herfindahl_index,
+    variation_index,
+)
 
 __all__ = [
     "Counter",
     "FigureSeries",
     "Gauge",
     "Histogram",
+    "LoadDistribution",
     "MetricsRegistry",
     "Summary",
     "capacity_aware_coverage",
+    "coefficient_of_variation",
     "datacenter_coverage",
+    "gini_index",
+    "herfindahl_index",
     "latency_based_coverage",
     "summarize",
+    "variation_index",
 ]

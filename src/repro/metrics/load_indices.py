@@ -1,0 +1,144 @@
+"""Load-distribution indices (DRAGON game-simulator metrics).
+
+How evenly a placement spreads players over supernodes, measured three
+ways (definitions follow the DRAGON mobile-game simulator, SNIPPETS.md
+§1, normalised to unit shares; see DESIGN.md §13):
+
+* **Gini index** — twice the area between the Lorenz curve of the load
+  vector and the equality diagonal, computed as the relative mean
+  absolute difference ``G = Σᵢⱼ|xᵢ−xⱼ| / (2n²μ)``. 0 on uniform load,
+  bounded by ``(n−1)/n < 1``, and strictly decreasing under a
+  mean-preserving (Pigou–Dalton) transfer from a loaded node to a less
+  loaded one.
+* **Herfindahl index** — ``H = Σ sᵢ²`` over load shares ``sᵢ = xᵢ/Σx``;
+  ``1/n`` on uniform load, 1 when a single node holds everything. (The
+  DRAGON simulator uses percentage shares, scaling this by 10⁴.)
+* **Coefficient of variation** — population standard deviation over the
+  mean; 0 on uniform load, unbounded above.
+
+Plus the DRAGON **variation index** for churn studies: the fraction of
+the final population that moved onto a node between two snapshots,
+``V = Σ max(afterᵢ − beforeᵢ, 0) / Σ after``.
+
+All functions accept any non-negative vector; degenerate inputs (empty,
+single node, zero total) report perfect evenness rather than raising,
+so index emission never aborts a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _vector(values) -> np.ndarray:
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size and (np.any(x < 0) or not np.all(np.isfinite(x))):
+        raise ValueError("loads must be finite and nonnegative")
+    return x
+
+
+def gini_index(values) -> float:
+    """Gini concentration of a load vector, in ``[0, (n−1)/n]``."""
+    x = _vector(values)
+    n = x.size
+    total = float(x.sum())
+    if n <= 1 or total <= 0.0:
+        return 0.0
+    xs = np.sort(x)
+    ranks = np.arange(1, n + 1, dtype=float)
+    g = (2.0 * float(np.sum(ranks * xs)) - (n + 1) * total) / (n * total)
+    return float(min(max(g, 0.0), 1.0))
+
+
+def herfindahl_index(values) -> float:
+    """Herfindahl concentration ``Σ sᵢ²`` of a load vector, in ``[1/n, 1]``.
+
+    Zero total load (nothing placed anywhere) reports the uniform
+    floor ``1/n``; an empty vector reports 1.0.
+    """
+    x = _vector(values)
+    if x.size == 0:
+        return 1.0
+    total = float(x.sum())
+    if total <= 0.0:
+        return 1.0 / x.size
+    shares = x / total
+    return float(np.sum(shares * shares))
+
+
+def coefficient_of_variation(values) -> float:
+    """Population standard deviation over the mean; 0 on uniform load."""
+    x = _vector(values)
+    if x.size == 0:
+        return 0.0
+    mean = float(x.mean())
+    if mean <= 0.0:
+        return 0.0
+    return float(x.std() / mean)
+
+
+def variation_index(before, after) -> float:
+    """DRAGON churn metric: fraction of the final load that moved in.
+
+    ``Σ max(afterᵢ − beforeᵢ, 0) / Σ after`` over aligned per-node load
+    vectors; 0 when nothing moved, 1 when every placement is new.
+    """
+    b, a = _vector(before), _vector(after)
+    if b.shape != a.shape:
+        raise ValueError("before/after vectors must align")
+    total = float(a.sum())
+    if total <= 0.0:
+        return 0.0
+    return float(np.maximum(a - b, 0.0).sum() / total)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadDistribution:
+    """All three indices over users-per-node and utilisation-per-node."""
+
+    n_nodes: int
+    gini_users: float
+    herfindahl_users: float
+    cv_users: float
+    gini_utilisation: float
+    herfindahl_utilisation: float
+    cv_utilisation: float
+
+    @classmethod
+    def measure(cls, users_per_node, utilisation_per_node
+                ) -> "LoadDistribution":
+        users = _vector(users_per_node)
+        util = _vector(utilisation_per_node)
+        return cls(
+            n_nodes=int(users.size),
+            gini_users=gini_index(users),
+            herfindahl_users=herfindahl_index(users),
+            cv_users=coefficient_of_variation(users),
+            gini_utilisation=gini_index(util),
+            herfindahl_utilisation=herfindahl_index(util),
+            cv_utilisation=coefficient_of_variation(util),
+        )
+
+    @classmethod
+    def from_strategy(cls, strategy) -> "LoadDistribution":
+        """Snapshot an :class:`~repro.core.assignment.AssignmentStrategy`."""
+        return cls.measure(strategy.users_per_node(),
+                           strategy.utilisation_per_node())
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "n_nodes": self.n_nodes,
+            "gini_users": self.gini_users,
+            "herfindahl_users": self.herfindahl_users,
+            "cv_users": self.cv_users,
+            "gini_utilisation": self.gini_utilisation,
+            "herfindahl_utilisation": self.herfindahl_utilisation,
+            "cv_utilisation": self.cv_utilisation,
+        }
+
+    def emit(self, registry, prefix: str = "assignment") -> None:
+        """Set one gauge per index on a metrics registry."""
+        for key, value in self.to_dict().items():
+            registry.gauge(f"{prefix}.{key}").set(float(value))

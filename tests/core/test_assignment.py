@@ -173,3 +173,61 @@ class TestBatch:
         with pytest.raises(ValueError):
             assign_players(lat, players, np.full(3, 0.09),
                            sn, np.full(sn.size, 10), dc)
+
+
+class TestReleaseAndFailover:
+    def test_release_direct_to_cloud_player_is_noop(self, rng):
+        """A player served by the cloud holds no supernode slot, so
+        releasing them must not raise and must not touch any load."""
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.zeros(sn.size, dtype=int),
+                                      dc)
+        player = int(players[0])
+        res = service.assign(player, 0.090)
+        assert not res.uses_supernode
+        before = service.load.copy()
+        service.release(player)  # must not raise / go negative
+        assert np.array_equal(service.load, before)
+        assert np.all(service.load == 0)
+
+    def test_release_reassign_roundtrip(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 10), dc)
+        player = int(players[0])
+        first = service.assign(player, 0.110)
+        service.release(player)
+        assert service.supernodes_in_use == 0
+        again = service.assign(player, 0.110)
+        # Identical world state: the protocol re-derives the same host.
+        assert again.supernode_host_id == first.supernode_host_id
+        assert service.supernodes_in_use == 1
+
+    def test_double_release_does_not_double_free(self, rng):
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(lat, sn, np.full(sn.size, 1), dc)
+        player = int(players[0])
+        service.assign(player, 0.110)
+        service.release(player)
+        service.release(player)
+        assert np.all(service.load >= 0)
+        assert np.all(service.load == 0)
+
+    def test_backup_promoted_after_primary_failure(self, rng):
+        """Failover: release the crashed primary, re-assign, and land
+        on one of the recorded backups (mirrors _migrate_player)."""
+        lat, dc, sn, players = make_world(rng)
+        service = SupernodeAssignment(
+            lat, sn, np.full(sn.size, 10), dc,
+            AssignmentParams(n_backups=3))
+        player = int(players[0])
+        res = service.assign(player, 0.110)
+        assert res.uses_supernode and res.backups
+        service.mark_failed(res.supernode_host_id)
+        assert not service.is_listed(res.supernode_host_id)
+        service.release(player)
+        promoted = service.assign(player, 0.110)
+        assert promoted.uses_supernode
+        assert promoted.supernode_host_id != res.supernode_host_id
+        # The §III-A-3 ranking is stable, so the next-best candidate is
+        # exactly the first recorded backup.
+        assert promoted.supernode_host_id == res.backups[0]

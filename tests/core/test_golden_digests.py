@@ -1,0 +1,119 @@
+"""Seed-equivalence pins for the assignment-strategy refactor (PR 9).
+
+``strategy="greedy"`` must be byte-identical to the pre-refactor seed
+behaviour: these digests and aggregates were captured on the seed code
+*before* ``AssignmentStrategy``/``make_assignment`` existed. Any drift
+in the greedy path — candidate ordering, capacity accounting, RNG
+draws — shows up here first. If a change is intentional, regenerate:
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.runner import run_results
+    for fig in ("fig5a", "fig8a"):
+        (r,) = run_results(fig, scale=0.02, seed=11).values()
+        print(fig, r.digest)
+    EOF
+
+(and analogously for the chaos trace digest and session aggregates
+below — see each test's parameters).
+"""
+
+import pytest
+
+#: RunResult series digests of seed figures exercising the greedy
+#: assignment protocol, captured pre-refactor at scale=0.02, seed=11.
+GOLDEN_SERIES = {
+    "fig5a": "5e7ea70dac21e994c7f5954c90b1a8e76bb67a0d1943059ceb80a338ff61859a",
+    "fig8a": "6f78e3be579b2e7cd7c488fdac789f1d05f553eaf14dc6cf86e4a4682df7732a",
+}
+
+#: Chaos trace digest (crash-recover preset: exercises mark_failed,
+#: migration via re-assignment, and release) at scale=0.02, seed=5,
+#: intensity=1, duration 12 s — captured pre-refactor.
+GOLDEN_CHAOS_TRACE = (
+    "af985d367de4b7038f9f6500e4f11ee856d44bf4ac0b7197ad55fe0a393c1c09")
+
+#: SessionResult aggregates of a CloudFog/A session (peersim scale=0.05,
+#: seed=42, duration 15 s, warmup 2 s) — captured pre-refactor.
+GOLDEN_SESSION = {
+    "n_players": 95,
+    "mean_continuity": 0.8421052631578947,
+    "mean_latency_s": 0.07563168326204649,
+    "satisfied_fraction": 0.8421052631578947,
+    "cloud_update_bytes": 6040000.0,
+    "cloud_stream_bytes": 570000,
+    "supernode_bytes": 48718750,
+    "served_supernode": 0.8315789473684211,
+}
+
+
+class TestGreedySeedEquivalence:
+    @pytest.mark.parametrize("figure", sorted(GOLDEN_SERIES))
+    def test_pinned_series_digest(self, figure):
+        from repro.experiments.runner import run_results
+
+        (result,) = run_results(figure, scale=0.02, seed=11).values()
+        assert result.digest == GOLDEN_SERIES[figure]
+
+    def test_pinned_chaos_trace_digest(self):
+        """The failover path (mark_failed → migrate → release) through
+        the strategy surface is byte-identical to the seed code."""
+        import repro.obs as obs_mod
+        from repro.obs import Observability, TraceRecorder, default_checkers
+        from repro.experiments.chaos import ChaosConfig, run_chaos
+
+        obs = Observability(trace=TraceRecorder(),
+                            checkers=default_checkers())
+        with obs_mod.use(obs):
+            run_chaos(0.02, 5, preset="crash-recover", intensity=1,
+                      config=ChaosConfig(duration_s=12.0))
+        assert obs.digest() == GOLDEN_CHAOS_TRACE
+
+    def test_pinned_session_aggregates(self):
+        """SessionResult equality with the pre-refactor seed figures."""
+        from repro.core.infrastructure import (
+            SessionConfig,
+            SystemVariant,
+            simulate_sessions,
+        )
+        from repro.experiments.scenarios import peersim_scenario
+
+        scen = peersim_scenario(0.05, seed=42)
+        pop = scen.build()
+        online = scen.online_sample(pop)
+        res = simulate_sessions(
+            pop, SystemVariant.CLOUDFOG_A, online,
+            SessionConfig(duration_s=15.0, warmup_s=2.0))
+        got = {
+            "n_players": res.n_players,
+            "mean_continuity": res.mean_continuity,
+            "mean_latency_s": res.mean_latency_s,
+            "satisfied_fraction": res.satisfied_fraction,
+            "cloud_update_bytes": res.cloud_update_bytes,
+            "cloud_stream_bytes": res.cloud_stream_bytes,
+            "supernode_bytes": res.supernode_bytes,
+            "served_supernode": res.fraction_served_by("supernode"),
+        }
+        assert got == GOLDEN_SESSION
+        # The refactor *adds* load indices without touching the QoE
+        # envelope: greedy sessions now report them too.
+        assert res.load_indices is not None
+        assert res.load_indices["strategy"] == "greedy"
+
+    def test_default_params_select_greedy(self):
+        from repro.core.assignment import (
+            AssignmentParams,
+            SupernodeAssignment,
+            make_assignment,
+        )
+        import numpy as np
+        from repro.network.latency import LatencyModel, LatencyParams
+
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 10, size=(4, 2))
+        lat = LatencyModel(positions, rng,
+                           LatencyParams(jitter_scale_s=0.0),
+                           metro_ids=np.zeros(4, dtype=int))
+        service = make_assignment(
+            lat, np.array([1, 2]), np.array([3, 3]), np.array([0]))
+        assert type(service) is SupernodeAssignment
+        assert AssignmentParams().strategy == "greedy"

@@ -1,0 +1,240 @@
+"""Tests for the DRAGON-style distributed assignment strategy (PR 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import (
+    AssignmentParams,
+    AssignmentStrategy,
+    SupernodeAssignment,
+    make_assignment,
+)
+from repro.core.orchestration import DistributedAssignment, OrchestrationParams
+from repro.network.latency import LatencyModel, LatencyParams
+
+
+def make_world(rng, n_players=20, n_sn=6, n_dc=2, skew=0.0, sn_spread_km=30.0):
+    """A small world; ``skew`` puts that fraction of players on top of
+    the first supernode (adversarial regional pile-up)."""
+    n = n_dc + n_sn + n_players
+    positions = np.zeros((n, 2))
+    metro_ids = np.zeros(n, dtype=int)
+    for d in range(n_dc):
+        positions[d] = (3000.0 + 10 * d, 0.0)
+        metro_ids[d] = -(d + 1)
+    for i in range(n_dc, n_dc + n_sn):
+        positions[i] = (float(rng.uniform(0, sn_spread_km)),
+                        float(rng.uniform(0, sn_spread_km)))
+    n_hot = int(round(skew * n_players))
+    for j, i in enumerate(range(n_dc + n_sn, n)):
+        if j < n_hot:  # hot players sit on the first supernode
+            positions[i] = positions[n_dc] + rng.uniform(0, 0.5, size=2)
+        else:
+            positions[i] = (float(rng.uniform(0, sn_spread_km)),
+                            float(rng.uniform(0, sn_spread_km)))
+    params = LatencyParams(jitter_scale_s=0.0, poor_fraction=0.0,
+                           access_median_s=0.008, access_sigma=0.3)
+    lat = LatencyModel(positions, rng, params, metro_ids=metro_ids)
+    dc_ids = np.arange(n_dc)
+    sn_ids = np.arange(n_dc, n_dc + n_sn)
+    player_ids = np.arange(n_dc + n_sn, n)
+    return lat, dc_ids, sn_ids, player_ids
+
+
+class TestFactoryAndProtocol:
+    def test_factory_dispatch(self, rng):
+        lat, dc, sn, _ = make_world(rng)
+        caps = np.full(sn.size, 5)
+        greedy = make_assignment(lat, sn, caps, dc)
+        dist = make_assignment(lat, sn, caps, dc,
+                               AssignmentParams(strategy="distributed"))
+        assert type(greedy) is SupernodeAssignment
+        assert isinstance(dist, DistributedAssignment)
+        assert isinstance(greedy, AssignmentStrategy)
+        assert isinstance(dist, AssignmentStrategy)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentParams(strategy="centralised")
+
+    def test_orchestration_params_validated(self):
+        with pytest.raises(ValueError):
+            OrchestrationParams(max_rounds=0)
+        with pytest.raises(ValueError):
+            OrchestrationParams(load_weight=1.5)
+        with pytest.raises(ValueError):
+            OrchestrationParams(candidate_factor=0)
+
+
+def _place_all(service, players, req=0.110):
+    return [service.assign(int(p), req) for p in players]
+
+
+class TestDeterminism:
+    def test_same_world_same_placement(self):
+        from repro.sim.rng import RngRegistry
+
+        placements = []
+        for _ in range(2):
+            rng = RngRegistry(777).stream("det-world")  # fresh, same seed
+            lat, dc, sn, players = make_world(rng, n_players=30)
+            service = DistributedAssignment(
+                lat, sn, np.full(sn.size, 4), dc)
+            results = _place_all(service, players)
+            placements.append(
+                [r.supernode_host_id for r in results]
+                + [list(r.backups) for r in results])
+        assert placements[0] == placements[1]
+
+    def test_session_trace_digest_reproducible(self):
+        """Two fresh distributed sessions produce identical digests."""
+        import repro.obs as obs_mod
+        from repro.obs import Observability, TraceRecorder
+        from repro.core.infrastructure import (
+            SessionConfig,
+            SystemVariant,
+            simulate_sessions,
+        )
+        from repro.experiments.scenarios import peersim_scenario
+
+        digests = []
+        for _ in range(2):
+            scen = peersim_scenario(0.02, seed=13)
+            pop = scen.build()
+            online = scen.online_sample(pop)
+            obs = Observability(trace=TraceRecorder())
+            with obs_mod.use(obs):
+                simulate_sessions(
+                    pop, SystemVariant.CLOUDFOG_A, online,
+                    SessionConfig(
+                        duration_s=8.0, warmup_s=2.0,
+                        assignment=AssignmentParams(strategy="distributed")))
+            digests.append(obs.digest())
+        assert digests[0] == digests[1]
+
+
+class TestConvergence:
+    def test_round_bound_holds_under_adversarial_skew(self, rng):
+        """90 % of players pile onto one supernode's doorstep; every
+        negotiation still settles within the configured bound."""
+        lat, dc, sn, players = make_world(
+            rng, n_players=60, n_sn=8, skew=0.9)
+        orch = OrchestrationParams(max_rounds=6)
+        service = DistributedAssignment(
+            lat, sn, np.full(sn.size, 10), dc, orchestration=orch)
+        _place_all(service, players)
+        stats = service.stats()
+        assert stats["negotiations"] == players.size
+        assert 1 <= stats["max_rounds_seen"] <= orch.max_rounds
+
+    def test_tight_round_bound_forces_settlement(self, rng):
+        """max_rounds=1 still places every player on a node with true
+        free capacity — the forced settlement votes on truth."""
+        lat, dc, sn, players = make_world(rng, n_players=30, skew=0.9)
+        caps = np.full(sn.size, 5)
+        service = DistributedAssignment(
+            lat, sn, caps, dc,
+            orchestration=OrchestrationParams(max_rounds=1))
+        results = _place_all(service, players)
+        assert service.stats()["max_rounds_seen"] == 1
+        assert np.all(service.load <= caps)
+        # Capacity is sized for all players; nobody should miss out.
+        assert all(r.uses_supernode for r in results)
+
+    def test_capacity_never_oversubscribed(self, rng):
+        lat, dc, sn, players = make_world(rng, n_players=50, n_sn=3,
+                                          skew=0.5)
+        caps = np.array([2, 3, 4])
+        service = DistributedAssignment(lat, sn, caps, dc)
+        results = _place_all(service, players)
+        assert np.all(service.load <= caps)
+        assert sum(r.uses_supernode for r in results) == caps.sum()
+
+    def test_negotiation_takes_multiple_rounds_when_stale(self, rng):
+        """The gossip board goes stale (lazy win announcements), so at
+        least some negotiations genuinely iterate."""
+        lat, dc, sn, players = make_world(rng, n_players=40, skew=0.9)
+        service = DistributedAssignment(lat, sn, np.full(sn.size, 8), dc)
+        _place_all(service, players)
+        assert service.stats()["max_rounds_seen"] >= 2
+
+
+class TestCrashedSupernodes:
+    def test_crashed_node_never_wins(self, rng):
+        lat, dc, sn, players = make_world(rng, n_players=30, skew=0.9)
+        service = DistributedAssignment(lat, sn, np.full(sn.size, 10), dc)
+        crashed = int(sn[0])  # the hot node 90 % of players sit on
+        service.mark_failed(crashed)
+        results = _place_all(service, players)
+        winners = {r.supernode_host_id for r in results if r.uses_supernode}
+        assert crashed not in winners
+        assert service.load[service._sn_index[crashed]] == 0
+        for r in results:
+            assert crashed not in r.backups
+
+    def test_recovered_node_can_win_again(self, rng):
+        lat, dc, sn, players = make_world(rng, n_players=20, skew=1.0)
+        service = DistributedAssignment(lat, sn, np.full(sn.size, 30), dc)
+        hot = int(sn[0])
+        service.mark_failed(hot)
+        service.assign(int(players[0]), 0.110)
+        service.mark_recovered(hot)
+        results = _place_all(service, players[1:])
+        winners = {r.supernode_host_id for r in results if r.uses_supernode}
+        assert hot in winners
+
+    def test_failover_chaos_plan_runs_unchanged(self):
+        """A crash-recover fault plan drives failover through the
+        distributed strategy exactly like the greedy one."""
+        from repro.experiments.orchestration import (
+            OrchestrationConfig,
+            run_orchestration,
+        )
+
+        out = run_orchestration(0.02, 5, strategy="distributed",
+                                skew="uniform", churn="churn",
+                                config=OrchestrationConfig(duration_s=12.0))
+        fs = out["fault_stats"]
+        assert fs is not None and fs["injected"] >= 1
+        assert out["load_indices"]["negotiation"]["negotiations"] > 0
+
+
+class TestLoadSpreading:
+    def test_distributed_beats_greedy_under_skew(self):
+        """The acceptance scenario: under regional load skew the
+        negotiated placement strictly improves every concentration
+        index over the paper's greedy placement."""
+        from repro.sim.rng import RngRegistry
+        from repro.metrics.load_indices import (
+            coefficient_of_variation,
+            gini_index,
+            herfindahl_index,
+        )
+
+        indices = {}
+        for strategy in ("greedy", "distributed"):
+            rng = RngRegistry(777).stream("skew-world")  # same world twice
+            lat, dc, sn, players = make_world(
+                rng, n_players=60, n_sn=8, skew=0.9)
+            service = make_assignment(
+                lat, sn, np.full(sn.size, 20), dc,
+                AssignmentParams(strategy=strategy))
+            _place_all(service, players)
+            users = service.users_per_node()
+            indices[strategy] = (gini_index(users),
+                                 herfindahl_index(users),
+                                 coefficient_of_variation(users))
+        for g, h in zip(indices["distributed"], indices["greedy"]):
+            assert g < h
+
+    def test_release_reassign_roundtrip(self, rng):
+        lat, dc, sn, players = make_world(rng, n_players=5, n_sn=2)
+        service = DistributedAssignment(lat, sn, np.array([1, 1]), dc)
+        p = int(players[0])
+        first = service.assign(p, 0.110)
+        assert first.uses_supernode
+        service.release(p)
+        assert np.all(service.load == 0)
+        again = service.assign(p, 0.110)
+        assert again.uses_supernode
+        assert again.supernode_host_id == first.supernode_host_id

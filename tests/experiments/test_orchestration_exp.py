@@ -1,0 +1,91 @@
+"""Tests for the orchestration head-to-head experiment (PR 9)."""
+
+import pytest
+
+from repro.experiments.config import RunConfig
+from repro.experiments.orchestration import (
+    CHURN_MODES,
+    SKEW_EXPONENTS,
+    OrchestrationConfig,
+    run_orchestration,
+)
+from repro.experiments.parallel import run_named
+from repro.experiments.specs import SPECS, TASK_RUNNERS
+
+SCALE = 0.02
+SEED = 11
+FAST = OrchestrationConfig(duration_s=8.0, warmup_s=2.0)
+
+
+class TestRunOrchestration:
+    def test_result_keys(self):
+        out = run_orchestration(SCALE, SEED, strategy="greedy",
+                                skew="uniform", churn="none", config=FAST)
+        assert {"strategy", "skew", "churn", "n_players", "continuity",
+                "satisfied", "mean_latency_s", "served_supernode",
+                "load_indices", "fault_stats"} <= set(out)
+        assert out["load_indices"]["strategy"] == "greedy"
+        assert out["fault_stats"] is None
+
+    def test_unknown_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_orchestration(SCALE, SEED, strategy="greedy",
+                              skew="lopsided", churn="none", config=FAST)
+        with pytest.raises(ValueError):
+            run_orchestration(SCALE, SEED, strategy="greedy",
+                              skew="uniform", churn="sometimes", config=FAST)
+
+    def test_deterministic(self):
+        a = run_orchestration(SCALE, SEED, strategy="distributed",
+                              skew="skewed", churn="none", config=FAST)
+        b = run_orchestration(SCALE, SEED, strategy="distributed",
+                              skew="skewed", churn="none", config=FAST)
+        assert a == b
+
+    def test_distributed_improves_an_index_under_skew(self):
+        """Acceptance criterion: under skewed load the distributed
+        strategy strictly improves at least one concentration index."""
+        greedy = run_orchestration(SCALE, SEED, strategy="greedy",
+                                   skew="skewed", churn="none", config=FAST)
+        dist = run_orchestration(SCALE, SEED, strategy="distributed",
+                                 skew="skewed", churn="none", config=FAST)
+        g, d = greedy["load_indices"], dist["load_indices"]
+        assert any(d[k] < g[k]
+                   for k in ("gini_users", "herfindahl_users", "cv_users"))
+
+
+class TestSpec:
+    def test_registered(self):
+        spec = SPECS["orchestration"]
+        assert "orchestration" in spec.tags
+        assert "orchestration_point" in TASK_RUNNERS
+
+    def test_decompose_full_grid(self):
+        tasks = SPECS["orchestration"].decompose(SCALE, SEED)
+        # strategies × (skew, churn) scenarios
+        assert len(tasks) == 2 * len(SKEW_EXPONENTS) * len(CHURN_MODES)
+        keys = [t.key for t in tasks]
+        assert len(set(keys)) == len(keys)
+        assert keys == [t.key for t in
+                        SPECS["orchestration"].decompose(SCALE, SEED)]
+
+    def test_merge_series_shape(self):
+        result = run_named("orchestration", SCALE, SEED)
+        # One series per (metric, strategy); four scenario points each.
+        pairs = {(s.label, s.y_label) for s in result.series}
+        assert {("greedy", "Gini (users/node)"),
+                ("distributed", "Gini (users/node)"),
+                ("greedy", "playback continuity"),
+                ("distributed", "playback continuity")} <= pairs
+        assert len(pairs) == len(result.series) == 8
+        for s in result.series:
+            assert len(s.x) == len(SKEW_EXPONENTS) * len(CHURN_MODES)
+
+    def test_parallel_equals_serial(self):
+        """jobs=1 ≡ jobs=4 for the new spec (engine contract)."""
+        serial = run_named("orchestration", SCALE, SEED)
+        parallel = run_named("orchestration", SCALE, SEED,
+                             config=RunConfig(jobs=4))
+        assert serial.digest == parallel.digest
+        assert ([s.to_dict() for s in serial.series]
+                == [s.to_dict() for s in parallel.series])

@@ -17,7 +17,8 @@ class TestRunner:
         expected = {"fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
                     "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11",
                     "economics", "churn", "cooperation", "gameworld",
-                    "security", "dynamic", "chaos", "scale"}
+                    "security", "dynamic", "chaos", "scale",
+                    "orchestration"}
         assert set(EXPERIMENTS) == expected
 
     def test_gameworld_runs_tiny(self):

@@ -1,0 +1,160 @@
+"""Hypothesis properties of the load-distribution indices (DESIGN.md §13).
+
+The indices score placements in the orchestration experiment, so their
+mathematical guarantees are what makes strategy comparisons meaningful:
+bounds, uniform-load floors, permutation invariance, and the
+Pigou–Dalton transfer principle for the Gini index.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.load_indices import (
+    LoadDistribution,
+    coefficient_of_variation,
+    gini_index,
+    herfindahl_index,
+    variation_index,
+)
+
+#: Non-degenerate integer load vectors (at least one occupied node).
+loads = st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=1, max_size=50).filter(lambda xs: sum(xs) > 0)
+
+
+class TestBounds:
+    @given(loads)
+    @settings(max_examples=200, deadline=None)
+    def test_gini_in_unit_interval(self, xs):
+        g = gini_index(xs)
+        assert 0.0 <= g <= 1.0
+        # The relative-mean-difference Gini is bounded by (n-1)/n.
+        assert g <= (len(xs) - 1) / max(len(xs), 1) + 1e-12
+
+    @given(loads)
+    @settings(max_examples=200, deadline=None)
+    def test_herfindahl_in_expected_interval(self, xs):
+        h = herfindahl_index(xs)
+        assert 1.0 / len(xs) - 1e-12 <= h <= 1.0 + 1e-12
+
+    @given(loads)
+    @settings(max_examples=200, deadline=None)
+    def test_cv_nonnegative(self, xs):
+        assert coefficient_of_variation(xs) >= 0.0
+
+
+class TestUniformLoad:
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_load_is_perfectly_even(self, n, per_node):
+        xs = [per_node] * n
+        assert gini_index(xs) == 0.0
+        assert herfindahl_index(xs) == pytest.approx(1.0 / n)
+        assert coefficient_of_variation(xs) == pytest.approx(0.0)
+
+    @given(st.integers(min_value=2, max_value=50),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_single_hot_node_is_maximal(self, n, load):
+        xs = [0] * n
+        xs[0] = load
+        assert gini_index(xs) == pytest.approx((n - 1) / n)
+        assert herfindahl_index(xs) == pytest.approx(1.0)
+
+
+class TestPermutationInvariance:
+    @given(loads, st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_indices_ignore_node_order(self, xs, rnd):
+        shuffled = list(xs)
+        rnd.shuffle(shuffled)
+        assert gini_index(shuffled) == pytest.approx(gini_index(xs))
+        assert herfindahl_index(shuffled) == pytest.approx(
+            herfindahl_index(xs))
+        assert coefficient_of_variation(shuffled) == pytest.approx(
+            coefficient_of_variation(xs))
+
+
+class TestPigouDaltonTransfer:
+    @given(loads.filter(lambda xs: len(xs) >= 2 and max(xs) - min(xs) >= 2),
+           st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_transfer_from_loaded_to_idle_decreases_gini(self, xs, data):
+        """Moving players from the most to the least loaded node is a
+        mean-preserving progressive transfer: Gini must strictly drop."""
+        donor = int(np.argmax(xs))
+        recipient = int(np.argmin(xs))
+        gap = xs[donor] - xs[recipient]
+        d = data.draw(st.integers(min_value=1, max_value=gap // 2))
+        before = gini_index(xs)
+        after_xs = list(xs)
+        after_xs[donor] -= d
+        after_xs[recipient] += d
+        assert sum(after_xs) == sum(xs)  # mean-preserving
+        assert gini_index(after_xs) < before
+
+
+class TestVariationIndex:
+    @given(loads)
+    @settings(max_examples=100, deadline=None)
+    def test_no_movement_is_zero(self, xs):
+        assert variation_index(xs, xs) == 0.0
+
+    @given(loads, loads)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_unit_interval(self, before, after):
+        n = max(len(before), len(after))
+        b = list(before) + [0] * (n - len(before))
+        a = list(after) + [0] * (n - len(after))
+        assert 0.0 <= variation_index(b, a) <= 1.0
+
+    def test_total_turnover_is_one(self):
+        assert variation_index([5, 0, 0], [0, 3, 2]) == 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            variation_index([1, 2], [1, 2, 3])
+
+
+class TestDegenerateInputs:
+    def test_empty_vector(self):
+        assert gini_index([]) == 0.0
+        assert herfindahl_index([]) == 1.0
+        assert coefficient_of_variation([]) == 0.0
+
+    def test_single_node(self):
+        assert gini_index([7]) == 0.0
+        assert herfindahl_index([7]) == 1.0
+
+    def test_zero_total(self):
+        assert gini_index([0, 0, 0]) == 0.0
+        assert herfindahl_index([0, 0, 0]) == pytest.approx(1 / 3)
+        assert coefficient_of_variation([0, 0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_index([1, -1])
+        with pytest.raises(ValueError):
+            herfindahl_index([np.nan])
+
+
+class TestLoadDistribution:
+    def test_measure_and_dict_roundtrip(self):
+        dist = LoadDistribution.measure([4, 0, 0], [1.0, 0.0, 0.0])
+        d = dist.to_dict()
+        assert d["n_nodes"] == 3
+        assert d["gini_users"] == pytest.approx(2 / 3)
+        assert d["herfindahl_users"] == pytest.approx(1.0)
+        assert d["herfindahl_utilisation"] == pytest.approx(1.0)
+
+    def test_emit_sets_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        LoadDistribution.measure([1, 1], [0.5, 0.5]).emit(reg, prefix="a")
+        snap = reg.snapshot()
+        assert snap["a.gini_users"]["value"] == 0.0
+        assert snap["a.herfindahl_users"]["value"] == pytest.approx(0.5)
