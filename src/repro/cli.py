@@ -615,9 +615,130 @@ def scale_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def build_dynamics_parser() -> argparse.ArgumentParser:
+    from repro.core.cohort import FAULT_PRESETS
+    from repro.dynamics import DYNAMICS_PRESETS, DYNAMICS_STRATEGIES
+    from repro.sim.engine import QUEUE_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="cloudfog dynamics",
+        description="Run the cohort kernel under a deterministic "
+                    "population-dynamics plan: join/leave churn, "
+                    "regional flash crowds, diurnal load and mobility, "
+                    "with overload-graceful supernodes that refuse, "
+                    "shed and evict sessions before collapsing.",
+    )
+    parser.add_argument(
+        "--preset", default="flash-crowd", choices=DYNAMICS_PRESETS,
+        help="dynamics plan preset (default flash-crowd)")
+    parser.add_argument(
+        "--intensity", type=int, default=1,
+        help="preset intensity: 0 = empty plan (baseline), higher = "
+             "more churn / larger surges (default 1)")
+    parser.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="load a DynamicsPlan from a JSON file instead of a preset")
+    parser.add_argument(
+        "--players", type=int, default=20_000,
+        help="population size (default 20000; 100000+ works)")
+    parser.add_argument(
+        "--regions", type=int, default=8,
+        help="number of supernode regions (default 8)")
+    parser.add_argument(
+        "--ticks", type=int, default=120,
+        help="simulated playback ticks (default 120)")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--mode", choices=("cohort", "per-player"), default="cohort",
+        help="execution mode; traces are byte-identical (default cohort)")
+    parser.add_argument(
+        "--queue", choices=QUEUE_KINDS, default="calendar",
+        help="event-queue kind (default calendar)")
+    parser.add_argument(
+        "--faults", choices=FAULT_PRESETS, default="none",
+        help="fault preset layered under the dynamics (default none)")
+    parser.add_argument(
+        "--initial-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of the population online at tick 0; the rest "
+             "join through the plan (default 0.5; 1.0 with an empty "
+             "plan reproduces the static baseline byte-for-byte)")
+    parser.add_argument(
+        "--strategy", default="graceful", choices=DYNAMICS_STRATEGIES,
+        help="overload strategy: graceful = admission control + "
+             "quality-ladder shedding, none = serve everyone at full "
+             "tier and let queues grow (default graceful)")
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the report as JSON to PATH ('-' = stdout)")
+    add_execution_args(parser)
+    return parser
+
+
+def dynamics_main(argv: list[str] | None = None) -> int:
+    """``cloudfog dynamics``: population churn + overload degradation."""
+    import repro.obs as obs_mod
+    from repro.obs import Observability
+    from repro.core.cohort import ScaleSpec
+    from repro.dynamics import (
+        DynamicsPlan,
+        DynamicsSpec,
+        preset_dynamics,
+        run_dynamics,
+    )
+
+    parser = build_dynamics_parser()
+    args = parser.parse_args(argv)
+    # One kernel run, not a sweep; validate the shared execution flags
+    # so every subcommand accepts the same options.
+    _config_from_args(parser, args).close()
+    try:
+        base = ScaleSpec(
+            n_players=args.players, n_regions=args.regions,
+            n_ticks=args.ticks, seed=args.seed, mode=args.mode,
+            queue=args.queue, faults=args.faults)
+        if args.plan:
+            with open(args.plan, encoding="utf-8") as fp:
+                plan = DynamicsPlan.from_dict(json.load(fp))
+        else:
+            plan = preset_dynamics(
+                args.preset, horizon_s=args.ticks * base.params.tick_s,
+                n_players=args.players, n_regions=args.regions,
+                intensity=args.intensity, seed=args.seed)
+        initial = (1.0 if plan.is_empty else args.initial_fraction)
+        dspec = DynamicsSpec(base=base, plan=plan,
+                             initial_fraction=initial,
+                             strategy=args.strategy)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+    obs = Observability()
+    t0 = time.time()
+    with obs_mod.use(obs):
+        report = run_dynamics(dspec, obs=obs)
+    elapsed = time.time() - t0
+    if args.json is not None:
+        payload = report.to_dict()
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, indent=2, sort_keys=True)
+            print(f"wrote dynamics report to {args.json}")
+    plan_desc = (args.plan if args.plan
+                 else f"{args.preset} @ intensity {args.intensity}")
+    print(f"plan:       {plan_desc} ({len(plan)} sources)")
+    print(report.format_text())
+    print(f"[{elapsed:.1f}s, {report.scale.events_scheduled} events, "
+          f"{report.scale.events_scheduled / max(elapsed, 1e-9):,.0f} "
+          f"events/s]")
+    return 1 if report.invariants else 0
+
+
 def build_worker_parser() -> argparse.ArgumentParser:
     from repro.experiments.backends.worker import (
         DEFAULT_HEARTBEAT_S,
+        DEFAULT_RECONNECT_MAX_S,
         DEFAULT_SCHEDULER_TIMEOUT_S,
     )
 
@@ -645,6 +766,16 @@ def build_worker_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--once", action="store_true",
         help="with --listen: exit after the first scheduler disconnects")
+    parser.add_argument(
+        "--reconnect", action="store_true",
+        help="with --connect: survive scheduler EOF/silence by "
+             "redialling under capped exponential backoff with jitter; "
+             "exit only on a clean bye")
+    parser.add_argument(
+        "--reconnect-max", type=float, default=DEFAULT_RECONNECT_MAX_S,
+        metavar="S",
+        help="cap on the reconnect backoff delay (default "
+             f"{DEFAULT_RECONNECT_MAX_S:g})")
     parser.add_argument(
         "--heartbeat-interval", type=float, default=DEFAULT_HEARTBEAT_S,
         metavar="S",
@@ -688,7 +819,9 @@ def worker_main(argv: list[str] | None = None) -> int:
                           heartbeat_s=args.heartbeat_interval,
                           slots=args.slots, cache_dir=args.cache_dir,
                           compress=args.compress,
-                          scheduler_timeout_s=args.scheduler_timeout)
+                          scheduler_timeout_s=args.scheduler_timeout,
+                          reconnect=args.reconnect,
+                          reconnect_max_s=args.reconnect_max)
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -704,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return orchestrate_main(argv[1:])
     if argv and argv[0] == "scale":
         return scale_main(argv[1:])
+    if argv and argv[0] == "dynamics":
+        return dynamics_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
     parser = build_parser()

@@ -383,6 +383,11 @@ class CohortKernel:
         return h.hexdigest()
 
     # -- run -----------------------------------------------------------------
+    def _initial_player_ids(self):
+        """Players materialised up-front in per-player mode. Subclasses
+        with dynamic membership start chains for the active set only."""
+        return range(self.spec.n_players)
+
     def run(self) -> ScaleReport:
         spec, p = self.spec, self.params
         t0 = time.perf_counter()
@@ -391,7 +396,7 @@ class CohortKernel:
         ev = self.env.timeout(0.0)
         ev.callbacks.append(lambda _e: self._driver_fire(0))
         if not self._cohort_mode:
-            for pid in range(spec.n_players):
+            for pid in self._initial_player_ids():
                 mp = self.cohort.materialise(pid)
                 self.materialisations += 1
                 self._schedule_player(mp, 0, 0.0)

@@ -279,6 +279,10 @@ class PlayerCohort:
         self.last_switch = np.full(
             n, -params.switch_cooldown_ticks, dtype=np.int64)
         self.materialised = np.zeros(n, dtype=bool)
+        #: Population-dynamics membership: inactive players are parked in
+        #: the join pool and excluded from the batch. All-true outside
+        #: ``repro.dynamics`` (the base kernel never edits it).
+        self.active = np.ones(n, dtype=bool)
         self.rebuffer_ticks = np.zeros(n, dtype=np.int64)
         self.crashes = np.zeros(n, dtype=np.int64)
         self.switches = np.zeros(n, dtype=np.int64)
@@ -505,8 +509,8 @@ class PlayerCohort:
         return int(np.count_nonzero(self.materialised))
 
     def batch_indices(self) -> np.ndarray:
-        """Indices the cohort driver advances (the non-materialised)."""
-        return np.flatnonzero(~self.materialised)
+        """Indices the cohort driver advances (active, non-materialised)."""
+        return np.flatnonzero(self.active & ~self.materialised)
 
 
 class MaterialisedPlayer:

@@ -6,7 +6,13 @@ Two connection modes, mirroring the scheduler's
 * ``run_worker(connect="HOST:PORT")`` — dial the scheduler (retrying
   briefly so workers may start before it listens), serve that one
   scheduler, exit when it closes the connection. This is what the
-  scheduler's worker launcher spawns.
+  scheduler's worker launcher spawns. With ``reconnect=True`` the
+  worker survives the scheduler instead: on EOF or silence it redials
+  with capped exponential backoff plus jitter (the
+  :class:`~repro.experiments.resilience.ResilienceConfig` backoff
+  curve), resets the backoff after every established connection, and
+  only exits on a clean ``bye``. Long-lived fleet workers use this to
+  ride out scheduler restarts.
 * ``run_worker(listen="HOST:PORT")`` — bind, print the bound address
   (``worker <id> listening on HOST:PORT``) and serve schedulers one
   connection at a time; with ``once=True`` exit after the first
@@ -60,6 +66,7 @@ backend's taxonomy.
 from __future__ import annotations
 
 import os
+import random
 import select
 import signal
 import socket
@@ -81,7 +88,7 @@ from repro.experiments.backends.protocol import (
     parse_addr,
 )
 from repro.experiments.cache import BlobCache
-from repro.experiments.resilience import PoolManager
+from repro.experiments.resilience import PoolManager, ResilienceConfig
 
 #: Seconds between heartbeat frames while serving a scheduler.
 DEFAULT_HEARTBEAT_S = 2.0
@@ -93,6 +100,35 @@ DEFAULT_DIAL_RETRY_S = 15.0
 #: acknowledgement promises heartbeats, tripped when no frame of any
 #: kind arrives for this long.
 DEFAULT_SCHEDULER_TIMEOUT_S = 30.0
+
+#: Reconnect backoff (``--reconnect``): first delay, doubling per
+#: consecutive failure up to the cap.
+DEFAULT_RECONNECT_BASE_S = 0.5
+DEFAULT_RECONNECT_MAX_S = 30.0
+
+
+def reconnect_delay_s(failures: int,
+                      base_s: float = DEFAULT_RECONNECT_BASE_S,
+                      cap_s: float = DEFAULT_RECONNECT_MAX_S,
+                      u: Optional[float] = None) -> float:
+    """Delay before reconnect attempt ``failures`` (1-based), jittered.
+
+    The deterministic envelope is the sweep retry curve
+    (:meth:`ResilienceConfig.backoff_s`) capped at ``cap_s``; equal
+    jitter then draws uniformly from ``[envelope/2, envelope]`` so a
+    fleet of workers orphaned by one scheduler crash does not redial in
+    lockstep. ``u`` pins the uniform draw for tests.
+    """
+    if failures < 1:
+        raise ValueError("failures must be >= 1")
+    policy = ResilienceConfig(backoff_base_s=base_s, backoff_factor=2.0)
+    try:
+        envelope = min(policy.backoff_s(failures), cap_s)
+    except OverflowError:
+        envelope = cap_s
+    if u is None:
+        u = random.random()
+    return envelope * (0.5 + 0.5 * u)
 
 
 def _log(message: str) -> None:
@@ -287,7 +323,11 @@ def run_worker(connect: Optional[str] = None,
                cache_dir: Optional[str] = None,
                compress: Optional[str] = "auto",
                scheduler_timeout_s: float =
-               DEFAULT_SCHEDULER_TIMEOUT_S) -> int:
+               DEFAULT_SCHEDULER_TIMEOUT_S,
+               reconnect: bool = False,
+               reconnect_base_s: float = DEFAULT_RECONNECT_BASE_S,
+               reconnect_max_s: float = DEFAULT_RECONNECT_MAX_S,
+               sleep=time.sleep) -> int:
     """Run a worker daemon; returns a process exit code.
 
     Exactly one of ``connect`` (dial the scheduler) and ``listen``
@@ -296,12 +336,16 @@ def run_worker(connect: Optional[str] = None,
     enables the local payload cache; ``compress`` is the wire codec
     policy (``auto`` / ``zlib`` / ``zstd`` / ``none``);
     ``scheduler_timeout_s`` is the scheduler-silence deadline (0
-    disables it).
+    disables it). With ``reconnect=True`` a ``connect`` worker redials
+    after EOF/silence under :func:`reconnect_delay_s` backoff and only
+    exits on a clean ``bye``; ``sleep`` is injectable for tests.
     """
     if bool(connect) == bool(listen):
         raise ValueError("pass exactly one of connect= or listen=")
     if slots < 1:
         raise ValueError(f"slots must be >= 1, got {slots}")
+    if reconnect and not connect:
+        raise ValueError("reconnect requires connect= mode")
     worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     cache = BlobCache(cache_dir) if cache_dir else None
 
@@ -323,17 +367,33 @@ def run_worker(connect: Optional[str] = None,
 
     if connect:
         addr = parse_addr(connect)
-        try:
-            sock = _dial(addr, dial_retry_s)
-        except OSError as exc:
-            _log(f"{worker_id}: cannot reach scheduler at "
-                 f"{format_addr(addr)}: {exc}")
-            return 1
-        with sock:
-            reason = serve(sock)
-        _log(f"{worker_id}: scheduler at {format_addr(addr)} "
-             f"disconnected ({reason})")
-        return 0
+        failures = 0
+        while True:
+            try:
+                sock = _dial(addr, dial_retry_s)
+            except OSError as exc:
+                _log(f"{worker_id}: cannot reach scheduler at "
+                     f"{format_addr(addr)}: {exc}")
+                if not reconnect:
+                    return 1
+                failures += 1
+                delay = reconnect_delay_s(
+                    failures, reconnect_base_s, reconnect_max_s)
+                _log(f"{worker_id}: redial #{failures} in {delay:.2f}s")
+                sleep(delay)
+                continue
+            failures = 0  # an established connection resets the curve
+            with sock:
+                reason = serve(sock)
+            _log(f"{worker_id}: scheduler at {format_addr(addr)} "
+                 f"disconnected ({reason})")
+            if not reconnect or reason == "bye":
+                return 0
+            failures += 1
+            delay = reconnect_delay_s(
+                failures, reconnect_base_s, reconnect_max_s)
+            _log(f"{worker_id}: reconnecting in {delay:.2f}s")
+            sleep(delay)
 
     host, port = parse_addr(listen)
     srv = socket.socket(

@@ -29,6 +29,7 @@ from repro.core.infrastructure import SessionConfig, SystemVariant
 from repro.core.player import PlayerEndpoint
 from repro.core.server import StreamingServer
 from repro.core.supernode import SupernodeServer
+from repro.dynamics.plan import DiurnalLoad, DynamicsPlan
 from repro.metrics.series import FigureSeries
 from repro.sim.engine import Environment
 from repro.streaming.encoder import SegmentEncoder
@@ -94,6 +95,7 @@ class DynamicSimulation:
         min_session_s: float = 20.0,
         max_session_s: float = 90.0,
         diurnal: bool = False,
+        plan: DynamicsPlan | None = None,
     ):
         if not variant.uses_fog and variant is not SystemVariant.CLOUD:
             raise ValueError(
@@ -105,9 +107,17 @@ class DynamicSimulation:
         self.sample_interval_s = sample_interval_s
         self.min_session_s = min_session_s
         self.max_session_s = max_session_s
-        #: Modulate arrivals with the evening-peaked diurnal curve; the
-        #: horizon is treated as one compressed day.
-        self.diurnal = diurnal
+        #: Arrival modulation comes from a dynamics plan
+        #: (:mod:`repro.dynamics.plan`); the legacy ``diurnal=True``
+        #: flag is a shim for a plan with one evening-peaked
+        #: :class:`DiurnalLoad` whose day is compressed into the
+        #: horizon — same thinning sequence, bit for bit.
+        if plan is None:
+            plan = DynamicsPlan(
+                sources=(DiurnalLoad(day_length_s=horizon_s),)
+                if diurnal else ())
+        self.plan = plan
+        self.diurnal = diurnal or plan.peak_rate_multiplier() > 1.0
         self.env = Environment()
         self.result = DynamicResult(horizon_s=horizon_s)
         self.cloud = CloudCoordinator(self.env, population.datacenter_ids)
@@ -152,24 +162,24 @@ class DynamicSimulation:
 
     # -- processes ------------------------------------------------------------
     def _arrival_proc(self):
-        from repro.workload.sessions import (
-            DIURNAL_AMPLITUDE,
-            diurnal_multiplier,
-        )
         pop = self.population
+        plan = self.plan
         rate = (DEFAULT_ARRIVAL_RATE_PER_S
                 * pop.n_players / PAPER_POPULATION)
-        peak = rate * (1.0 + DIURNAL_AMPLITUDE if self.diurnal else 1.0)
+        peak_mult = plan.peak_rate_multiplier()
+        peak = rate * peak_mult
         rng = self._rng
         while True:
             yield self.env.timeout(float(rng.exponential(1.0 / max(
                 peak, 1e-9))))
             if self.env.now >= self.horizon_s:
                 return
-            if self.diurnal:
-                # Thinning against the compressed-day diurnal curve.
-                day_s = self.env.now / self.horizon_s * 86_400.0
-                accept = rate * diurnal_multiplier(day_s) / peak
+            if peak_mult > 1.0:
+                # Thinning against the plan's diurnal envelope. A flat
+                # plan (peak 1.0) skips the draw entirely, keeping the
+                # RNG sequence identical to the pre-plan code path.
+                accept = (rate * plan.rate_multiplier(self.env.now)
+                          / peak)
                 if rng.uniform() >= accept:
                     continue
             pid = int(rng.integers(pop.n_players))
@@ -276,7 +286,9 @@ def run_dynamic(
     variant: SystemVariant = SystemVariant.CLOUDFOG_A,
     horizon_s: float = 120.0,
     config: SessionConfig | None = None,
+    plan: DynamicsPlan | None = None,
 ) -> DynamicResult:
     """Convenience wrapper: build, run, return."""
-    sim = DynamicSimulation(population, variant, horizon_s, config)
+    sim = DynamicSimulation(population, variant, horizon_s, config,
+                            plan=plan)
     return sim.run()

@@ -250,6 +250,45 @@ def _run_scale_point(scale: float, seed: int, p: dict) -> dict:
     }
 
 
+def _run_dynamics_point(scale: float, seed: int, p: dict) -> dict:
+    from repro.core.cohort import ScaleSpec
+    from repro.dynamics import DynamicsSpec, preset_dynamics, run_dynamics
+
+    base = ScaleSpec(
+        n_players=int(p["n_players"]), n_regions=int(p["n_regions"]),
+        n_ticks=int(p["n_ticks"]), seed=int(p["task_seed"]),
+        mode=p.get("mode", "cohort"), queue=p.get("queue", "calendar"),
+        faults="none")
+    horizon = base.n_ticks * base.params.tick_s
+    intensity = int(p["intensity"])
+    plan = preset_dynamics(
+        p["scenario"], horizon_s=horizon, n_players=base.n_players,
+        n_regions=base.n_regions, intensity=intensity,
+        seed=int(p["task_seed"]))
+    spec = DynamicsSpec(
+        base=base, plan=plan,
+        # Intensity 0 is the armed-but-empty anchor: full static
+        # population, byte-identical to the plain scale baseline.
+        initial_fraction=1.0 if intensity == 0
+        else float(p.get("initial_fraction", 0.5)),
+        strategy=p["strategy"])
+    report = run_dynamics(spec)
+    if report.invariants:
+        raise AssertionError(
+            "dynamics invariants violated: " + "; ".join(report.invariants))
+    return {
+        "digest": report.scale.digest,
+        "satisfied": report.satisfied_active_fraction,
+        "p99_ms": report.scale.p99_ms,
+        "joins": report.joins,
+        "leaves": report.leaves,
+        "refused": report.refused,
+        "shed": report.shed,
+        "evicted": report.evicted,
+        "moves": report.moves,
+    }
+
+
 #: Picklable dispatch table: runner name -> fn(scale, seed, params).
 TASK_RUNNERS = {
     "coverage_dc": _run_coverage_dc,
@@ -269,6 +308,7 @@ TASK_RUNNERS = {
     "chaos_point": _run_chaos_point,
     "orchestration_point": _run_orchestration_point,
     "scale_point": _run_scale_point,
+    "dynamics_point": _run_dynamics_point,
     # Fault-injection hook (crashes/hangs/raises on the Nth attempt):
     # referenced by the resilience test-suite and the CI smoke, kept in
     # the registry so such tasks resolve inside worker processes.
@@ -641,6 +681,77 @@ def _merge_scale(scale, seed, ordered):
     return series
 
 
+#: The dynamics grid: population scenario × intensity × overload
+#: strategy (DESIGN.md §14). Intensity 0 is the armed-but-empty anchor;
+#: the merge refuses to report if any anchor's digest deviates from the
+#: static-baseline cross-check task.
+_DYNAMICS_SCENARIOS = ("churn", "flash-crowd", "diurnal")
+_DYNAMICS_INTENSITIES = (0, 1, 2)
+_DYNAMICS_STRATEGIES = ("graceful", "none")
+_DYNAMICS_REGIONS = 4
+_DYNAMICS_TICKS = 80
+
+
+def _dynamics_players(scale: float) -> int:
+    return max(600, int(round(8000 * scale)))
+
+
+def _decompose_dynamics(scale, seed):
+    base = {"n_players": _dynamics_players(scale),
+            "n_regions": _DYNAMICS_REGIONS, "n_ticks": _DYNAMICS_TICKS,
+            "task_seed": int(seed)}
+    tasks = [
+        SweepTask("dynamics", (scenario, intensity, strategy),
+                  "dynamics_point",
+                  {**base, "scenario": scenario, "intensity": intensity,
+                   "strategy": strategy})
+        for scenario in _DYNAMICS_SCENARIOS
+        for intensity in _DYNAMICS_INTENSITIES
+        for strategy in _DYNAMICS_STRATEGIES
+    ]
+    # Static baseline the empty-plan anchors must match byte for byte.
+    tasks.append(SweepTask(
+        "dynamics", ("baseline",), "scale_point",
+        {**base, "mode": "cohort", "faults": "none"}))
+    return tasks
+
+
+def _merge_dynamics(scale, seed, ordered):
+    res = dict(ordered)
+    baseline = res[("baseline",)]["digest"]
+    for scenario in _DYNAMICS_SCENARIOS:
+        for strategy in _DYNAMICS_STRATEGIES:
+            anchor = res[(scenario, 0, strategy)]["digest"]
+            if anchor != baseline:
+                raise AssertionError(
+                    f"empty-plan anchor ({scenario}, {strategy}) deviates "
+                    f"from the static baseline: {anchor} != {baseline}")
+    series = []
+    for metric, y_label in (("satisfied", "fraction satisfied "
+                                          "(participants)"),
+                            ("p99_ms", "P99 response latency (ms)")):
+        for scenario in _DYNAMICS_SCENARIOS:
+            for strategy in _DYNAMICS_STRATEGIES:
+                s = FigureSeries(label=f"{scenario}/{strategy}",
+                                 x_label="dynamics intensity",
+                                 y_label=y_label)
+                for intensity in _DYNAMICS_INTENSITIES:
+                    s.add(intensity,
+                          res[(scenario, intensity, strategy)][metric])
+                series.append(s)
+    shed = FigureSeries(label="refused+shed+evicted (graceful)",
+                        x_label="dynamics intensity",
+                        y_label="sessions degraded")
+    for intensity in _DYNAMICS_INTENSITIES:
+        total = sum(
+            res[(scenario, intensity, "graceful")][k]
+            for scenario in _DYNAMICS_SCENARIOS
+            for k in ("refused", "shed", "evicted"))
+        shed.add(intensity, total)
+    series.append(shed)
+    return series
+
+
 def _spec(name: str, description: str, tags: tuple[str, ...],
           decompose, merge=_merge_fragments) -> ExperimentSpec:
     return ExperimentSpec(name=name, description=description, tags=tags,
@@ -731,6 +842,11 @@ _register(_spec(
     "scale", "latency percentiles vs population (cohort kernel)",
     ("extension", "scale"),
     _decompose_scale, _merge_scale))
+_register(_spec(
+    "dynamics",
+    "QoE under churn, flash crowds and diurnal load (overload strategies)",
+    ("extension", "dynamics"),
+    _decompose_dynamics, _merge_dynamics))
 
 
 def get_spec(name: str) -> ExperimentSpec:

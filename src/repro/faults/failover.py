@@ -56,6 +56,10 @@ class FailoverParams:
     max_retries: int = 3
     #: Control-plane delay of switching servers (assignment round trip).
     switch_delay_s: float = 0.05
+    #: Ceiling on any single retry backoff. Exponential growth past the
+    #: cap (including float-overflow territory) clamps here instead of
+    #: raising, so a long-dead server cannot stall the state machine.
+    max_backoff_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.detection_timeout_s < 0:
@@ -68,10 +72,19 @@ class FailoverParams:
             raise ValueError("max retries must be nonnegative")
         if self.switch_delay_s < 0:
             raise ValueError("switch delay must be nonnegative")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max backoff must be at least the base backoff")
 
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based)."""
-        return self.base_backoff_s * self.backoff_multiplier ** attempt
+        """Backoff before retry ``attempt`` (0-based), capped at
+        ``max_backoff_s``."""
+        if attempt < 0:
+            raise ValueError("attempt must be nonnegative")
+        try:
+            raw = self.base_backoff_s * self.backoff_multiplier ** attempt
+        except OverflowError:
+            return self.max_backoff_s
+        return min(raw, self.max_backoff_s)
 
 
 class FailoverController:

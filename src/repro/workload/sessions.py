@@ -32,15 +32,19 @@ DIURNAL_PEAK_HOUR = 20.0
 DIURNAL_AMPLITUDE = 0.75
 
 
-def diurnal_multiplier(time_of_day_s: float) -> float:
+def diurnal_multiplier(time_of_day_s: float,
+                       peak_hour: float = DIURNAL_PEAK_HOUR,
+                       amplitude: float = DIURNAL_AMPLITUDE) -> float:
     """Arrival-rate multiplier at a given second of the day.
 
     A raised cosine with mean 1.0: integrating over a full day recovers
     the nominal rate, so the paper's 5 players/s stays the daily average.
+    The peak hour and amplitude default to the module constants; the
+    dynamics DSL (``repro.dynamics.plan.DiurnalLoad``) passes its own.
     """
     hours = (time_of_day_s / 3600.0) % 24.0
-    phase = 2.0 * np.pi * (hours - DIURNAL_PEAK_HOUR) / 24.0
-    return 1.0 + DIURNAL_AMPLITUDE * np.cos(phase)
+    phase = 2.0 * np.pi * (hours - peak_hour) / 24.0
+    return 1.0 + amplitude * np.cos(phase)
 
 
 def sample_daily_play_s(rng: np.random.Generator, n: int) -> np.ndarray:

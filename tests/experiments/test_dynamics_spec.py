@@ -1,0 +1,53 @@
+"""The ``dynamics`` experiment spec: grid shape, anchors, jobs parity."""
+
+import pytest
+
+from repro.experiments import RunConfig
+from repro.experiments.parallel import run_named
+from repro.experiments.specs import SPECS, get_spec
+
+SCALE = 0.02
+SEED = 11
+
+
+def series_dicts(result):
+    return [s.to_dict() for s in result.series]
+
+
+class TestSpecShape:
+    def test_registered(self):
+        spec = get_spec("dynamics")
+        assert "dynamics" in spec.tags
+
+    def test_grid_covers_scenarios_intensities_strategies(self):
+        tasks = SPECS["dynamics"].decompose(SCALE, SEED)
+        # 3 scenarios x 3 intensities x 2 strategies + the static
+        # baseline anchor.
+        assert len(tasks) == 19
+        keys = {t.key for t in tasks}
+        assert ("baseline",) in keys
+        assert ("churn", 2, "graceful") in keys
+        assert ("flash-crowd", 0, "none") in keys
+
+
+class TestDynamicsRun:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        serial = run_named("dynamics", SCALE, SEED)
+        parallel = run_named("dynamics", SCALE, SEED,
+                             config=RunConfig(jobs=4))
+        return serial, parallel
+
+    def test_jobs_parity(self, runs):
+        """jobs=4 must be byte-identical to jobs=1 — the merge asserts
+        every intensity-0 anchor equals the static baseline digest on
+        the way through."""
+        serial, parallel = runs
+        assert series_dicts(serial) == series_dicts(parallel)
+        assert serial.digest == parallel.digest
+
+    def test_series_cover_both_strategies(self, runs):
+        serial, _ = runs
+        labels = {s.label for s in serial.series}
+        assert any("graceful" in lb for lb in labels)
+        assert any("none" in lb for lb in labels)

@@ -18,7 +18,7 @@ class TestRunner:
                     "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11",
                     "economics", "churn", "cooperation", "gameworld",
                     "security", "dynamic", "chaos", "scale",
-                    "orchestration"}
+                    "orchestration", "dynamics"}
         assert set(EXPERIMENTS) == expected
 
     def test_gameworld_runs_tiny(self):

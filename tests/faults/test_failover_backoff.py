@@ -1,0 +1,70 @@
+"""FailoverParams.backoff_s edge cases: overflow, caps, bad inputs."""
+
+import pytest
+
+from repro.faults.failover import FailoverParams
+
+
+class TestBackoffCurve:
+    def test_default_curve_doubles(self):
+        p = FailoverParams()
+        assert p.backoff_s(0) == pytest.approx(p.base_backoff_s)
+        assert p.backoff_s(1) == pytest.approx(
+            p.base_backoff_s * p.backoff_multiplier)
+        assert p.backoff_s(2) == pytest.approx(
+            p.base_backoff_s * p.backoff_multiplier ** 2)
+
+    def test_curve_is_monotone_until_the_cap(self):
+        p = FailoverParams(base_backoff_s=0.1, max_backoff_s=5.0)
+        delays = [p.backoff_s(a) for a in range(12)]
+        assert delays == sorted(delays)
+        assert delays[-1] == 5.0
+
+    def test_cap_applies(self):
+        p = FailoverParams(base_backoff_s=1.0, backoff_multiplier=10.0,
+                           max_backoff_s=30.0)
+        assert p.backoff_s(0) == 1.0
+        assert p.backoff_s(1) == 10.0
+        assert p.backoff_s(2) == 30.0  # 100 s capped
+        assert p.backoff_s(50) == 30.0
+
+    def test_attempt_overflow_clamps_to_cap(self):
+        """float ** huge overflows; the cap must absorb it instead of
+        leaking an OverflowError out of the retry loop."""
+        p = FailoverParams(max_backoff_s=60.0)
+        assert p.backoff_s(10_000) == 60.0
+        assert p.backoff_s(2**31) == 60.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverParams().backoff_s(-1)
+
+    def test_multiplier_one_is_flat(self):
+        p = FailoverParams(base_backoff_s=0.2, backoff_multiplier=1.0)
+        assert p.backoff_s(0) == p.backoff_s(7) == pytest.approx(0.2)
+
+
+class TestParamsValidation:
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverParams(base_backoff_s=2.0, max_backoff_s=1.0)
+
+    def test_zero_or_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverParams(base_backoff_s=0.0)
+        with pytest.raises(ValueError):
+            FailoverParams(base_backoff_s=-0.5)
+        with pytest.raises(ValueError):
+            FailoverParams(backoff_multiplier=0.0)
+        with pytest.raises(ValueError):
+            FailoverParams(detection_timeout_s=-0.1)
+        with pytest.raises(ValueError):
+            FailoverParams(switch_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FailoverParams(max_retries=-1)
+
+    def test_zero_delays_are_legal(self):
+        """Immediate detection/switch is a valid (if aggressive)
+        configuration; only the backoff base must stay positive."""
+        p = FailoverParams(detection_timeout_s=0.0, switch_delay_s=0.0)
+        assert p.backoff_s(0) == p.base_backoff_s
